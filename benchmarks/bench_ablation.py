@@ -1,0 +1,72 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A. SGB-Any index structure: R-tree vs uniform grid vs All-Pairs.
+B. L2 convex-hull refinement: on vs off.
+C. R-tree fanout sensitivity.
+D. JOIN-ANY tie-breaking: deterministic vs random.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all, sgb_any
+
+from conftest import run_benchmark
+
+EPS = 0.3
+
+
+@pytest.mark.parametrize("strategy", ["all-pairs", "index", "grid"])
+def test_ablation_any_index_structure(benchmark, points_2k, strategy):
+    run_benchmark(benchmark,
+                  lambda: sgb_any(points_2k, EPS, "l2", strategy))
+
+
+@pytest.mark.parametrize("use_hull", [True, False],
+                         ids=["hull-on", "hull-off"])
+def test_ablation_hull_refinement(benchmark, points_2k, use_hull):
+    run_benchmark(
+        benchmark,
+        lambda: sgb_all(points_2k, EPS, "l2", "join-any", "index",
+                        tiebreak="first", use_hull=use_hull),
+    )
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 16, 32])
+def test_ablation_rtree_fanout(benchmark, points_2k, fanout):
+    run_benchmark(
+        benchmark,
+        lambda: sgb_any(points_2k, EPS, "l2", "index",
+                        rtree_max_entries=fanout),
+    )
+
+
+@pytest.mark.parametrize("tiebreak", ["first", "random"])
+def test_ablation_join_any_tiebreak(benchmark, points_2k, tiebreak):
+    run_benchmark(
+        benchmark,
+        lambda: sgb_all(points_2k, EPS, "l2", "join-any", "index",
+                        tiebreak=tiebreak),
+    )
+
+
+@pytest.mark.parametrize("mode", ["incremental", "bulk"])
+def test_ablation_rtree_build(benchmark, points_2k, mode):
+    """STR bulk loading vs one-at-a-time insertion (build + one query)."""
+    from repro.geometry.rectangle import Rect
+    from repro.index.rtree import RTree
+
+    entries = [(Rect.from_point(p), i) for i, p in enumerate(points_2k)]
+    window = Rect((5, 5), (8, 8))
+
+    def build_incremental():
+        t = RTree(max_entries=8)
+        for rect, i in entries:
+            t.insert(rect, i)
+        return t.search(window)
+
+    def build_bulk():
+        t = RTree.bulk_load(entries, max_entries=8)
+        return t.search(window)
+
+    fn = build_incremental if mode == "incremental" else build_bulk
+    run_benchmark(benchmark, fn)

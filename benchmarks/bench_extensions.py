@@ -1,0 +1,91 @@
+"""Benchmarks for the extension surface beyond the paper's figures:
+
+* 1-D SGB (MAXIMUM-ELEMENT-SEPARATION, GROUP AROUND) — the ICDE 2009
+  operator family;
+* multi-dimensional GROUP AROUND;
+* B+tree index scans vs sequential scans on selective predicates;
+* distance-computation counting overhead.
+"""
+
+import random
+
+import pytest
+
+from repro.core.around import sgb_around_nd
+from repro.core.sgb_1d import sgb_around, sgb_segment
+from repro.core.sgb_all import SGBAllOperator
+from repro.engine.database import Database
+
+from conftest import run_benchmark
+
+
+@pytest.fixture(scope="module")
+def values_10k():
+    rng = random.Random(17)
+    return [rng.gauss(rng.choice([0, 50, 100]), 3.0) for _ in range(10_000)]
+
+
+def test_sgb1d_segment(benchmark, values_10k):
+    result = run_benchmark(
+        benchmark, lambda: sgb_segment(values_10k, max_separation=1.0)
+    )
+    assert result.n_points == 10_000
+
+
+def test_sgb1d_around(benchmark, values_10k):
+    result = run_benchmark(
+        benchmark,
+        lambda: sgb_around(values_10k, centers=[0, 50, 100],
+                           max_diameter=20),
+    )
+    assert result.n_points == 10_000
+
+
+def test_around_nd(benchmark, points_2k):
+    centers = [(5, 5), (15, 15), (5, 15), (15, 5)]
+    result = run_benchmark(
+        benchmark, lambda: sgb_around_nd(points_2k, centers, eps=6)
+    )
+    assert result.n_points == len(points_2k)
+
+
+@pytest.fixture(scope="module")
+def indexed_db():
+    db = Database()
+    db.execute("CREATE TABLE big (k int, payload text)")
+    db.insert("big", [(i % 1000, f"row{i}") for i in range(20_000)])
+    db.execute("CREATE INDEX idx_k ON big (k)")
+    return db
+
+
+def test_index_scan_point_lookup(benchmark, indexed_db):
+    result = run_benchmark(
+        benchmark,
+        lambda: indexed_db.query("SELECT count(*) FROM big WHERE k = 500"),
+        rounds=5,
+    )
+    assert result.scalar() == 20
+
+
+def test_seq_scan_point_lookup(benchmark, indexed_db):
+    # the same predicate on an unindexed expression forces a full scan
+    result = run_benchmark(
+        benchmark,
+        lambda: indexed_db.query(
+            "SELECT count(*) FROM big WHERE k + 0 = 500"
+        ),
+        rounds=5,
+    )
+    assert result.scalar() == 20
+
+
+def test_counting_overhead(benchmark, points_2k):
+    """Instrumentation must be cheap enough to leave on in experiments."""
+    def run():
+        op = SGBAllOperator(0.3, "l2", "join-any", "index",
+                            tiebreak="first",
+                            count_distance_computations=True)
+        return op.add_many(points_2k).finalize()
+
+    result = run_benchmark(benchmark, run)
+    assert result.n_points == len(points_2k)

@@ -1,0 +1,43 @@
+"""Figure 10: effect of the data size (TPC-H scale factor) on SGB runtimes.
+
+Panels a-c: SGB-All Bounds-Checking vs Index per overlap clause; panel d:
+SGB-Any All-Pairs vs Index.  Expected shape: the indexed strategy grows
+near-linearly and stays below the alternative at every scale factor.
+"""
+
+import pytest
+
+from repro.bench.experiments import tpch_buying_power_points
+from repro.core.api import sgb_all, sgb_any
+
+from conftest import run_benchmark
+
+EPS = 0.2
+SCALE_FACTORS = [1, 2]
+
+_POINT_CACHE = {}
+
+
+def points_at(sf):
+    if sf not in _POINT_CACHE:
+        _POINT_CACHE[sf] = tpch_buying_power_points(sf)
+    return _POINT_CACHE[sf]
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS)
+@pytest.mark.parametrize("strategy", ["bounds-checking", "index"])
+@pytest.mark.parametrize("clause", ["join-any", "eliminate",
+                                    "form-new-group"])
+def test_fig10_abc_sgb_all(benchmark, clause, strategy, sf):
+    pts = points_at(sf)
+    run_benchmark(
+        benchmark,
+        lambda: sgb_all(pts, EPS, "l2", clause, strategy, tiebreak="first"),
+    )
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS)
+@pytest.mark.parametrize("strategy", ["all-pairs", "index"])
+def test_fig10_d_sgb_any(benchmark, strategy, sf):
+    pts = points_at(sf)
+    run_benchmark(benchmark, lambda: sgb_any(pts, EPS, "l2", strategy))

@@ -1,0 +1,50 @@
+"""Figure 11: SGB vs clustering algorithms on check-in data.
+
+The paper reports every SGB variant beating DBSCAN / BIRCH / K-means by
+1-3 orders of magnitude on Brightkite and Gowalla; these benchmarks time
+all eight methods on the synthetic check-in substitute.
+"""
+
+import pytest
+
+from repro.clustering import birch, dbscan, kmeans
+from repro.core.api import sgb_all, sgb_any
+
+from conftest import run_benchmark
+
+EPS = 0.2
+
+
+def test_fig11_dbscan(benchmark, checkin_points_1k):
+    run_benchmark(benchmark,
+                  lambda: dbscan(checkin_points_1k, EPS, min_pts=5))
+
+
+def test_fig11_birch(benchmark, checkin_points_1k):
+    run_benchmark(
+        benchmark,
+        lambda: birch(checkin_points_1k, threshold=EPS, n_clusters=40),
+    )
+
+
+@pytest.mark.parametrize("k", [20, 40])
+def test_fig11_kmeans(benchmark, checkin_points_1k, k):
+    run_benchmark(benchmark,
+                  lambda: kmeans(checkin_points_1k, k, max_iter=30))
+
+
+@pytest.mark.parametrize("clause", ["join-any", "eliminate",
+                                    "form-new-group"])
+def test_fig11_sgb_all(benchmark, checkin_points_1k, clause):
+    run_benchmark(
+        benchmark,
+        lambda: sgb_all(checkin_points_1k, EPS, "l2", clause, "index",
+                        tiebreak="first"),
+    )
+
+
+def test_fig11_sgb_any(benchmark, checkin_points_1k):
+    run_benchmark(
+        benchmark,
+        lambda: sgb_any(checkin_points_1k, EPS, "l2", "index"),
+    )

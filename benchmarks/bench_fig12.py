@@ -1,0 +1,43 @@
+"""Figure 12: SGB overhead vs standard GROUP BY, end-to-end SQL.
+
+Panel a: GB2 (Q9) vs SGB3 (all three clauses) and SGB4.
+Panel b: GB3 (Q15) vs SGB5 (all three clauses) and SGB6.
+Expected shape: SGB runtimes comparable to the standard GROUP BY.
+"""
+
+import pytest
+
+from repro.workloads import queries as Q
+
+from conftest import run_benchmark
+
+EPS_A = 400_000  # ~0.2 of the profit/shiptime spread at SF1
+EPS_B = 200_000  # ~0.2 of the supplier revenue spread at SF1
+
+PANEL_A = [
+    ("gb2", lambda: Q.gb2()),
+    ("sgb3-join-any", lambda: Q.sgb3(EPS_A, on_overlap="join-any")),
+    ("sgb3-eliminate", lambda: Q.sgb3(EPS_A, on_overlap="eliminate")),
+    ("sgb3-form-new", lambda: Q.sgb3(EPS_A, on_overlap="form-new-group")),
+    ("sgb4", lambda: Q.sgb4(EPS_A)),
+]
+
+PANEL_B = [
+    ("gb3", lambda: Q.gb3()),
+    ("sgb5-join-any", lambda: Q.sgb5(EPS_B, on_overlap="join-any")),
+    ("sgb5-eliminate", lambda: Q.sgb5(EPS_B, on_overlap="eliminate")),
+    ("sgb5-form-new", lambda: Q.sgb5(EPS_B, on_overlap="form-new-group")),
+    ("sgb6", lambda: Q.sgb6(EPS_B)),
+]
+
+
+@pytest.mark.parametrize("name,make", PANEL_A, ids=[n for n, _ in PANEL_A])
+def test_fig12a(benchmark, tpch_db_sf1, name, make):
+    sql = make()
+    run_benchmark(benchmark, lambda: tpch_db_sf1.execute(sql))
+
+
+@pytest.mark.parametrize("name,make", PANEL_B, ids=[n for n, _ in PANEL_B])
+def test_fig12b(benchmark, tpch_db_sf1, name, make):
+    sql = make()
+    run_benchmark(benchmark, lambda: tpch_db_sf1.execute(sql))

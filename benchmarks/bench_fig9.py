@@ -1,0 +1,36 @@
+"""Figure 9: effect of the similarity threshold ε on SGB runtimes.
+
+Panels a-c are SGB-All under the three ON-OVERLAP clauses (All-Pairs vs
+Bounds-Checking vs Index); panel d is SGB-Any (All-Pairs vs Index).
+Expected shape: the indexed strategy dominates, and the gap to All-Pairs
+is largest at small ε (many groups).
+"""
+
+import pytest
+
+from repro.core.api import sgb_all, sgb_any
+
+from conftest import run_benchmark
+
+N = 1200
+EPS_VALUES = [0.2, 0.6]
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", ["all-pairs", "bounds-checking",
+                                      "index"])
+@pytest.mark.parametrize("clause", ["join-any", "eliminate",
+                                    "form-new-group"])
+def test_fig9_abc_sgb_all(benchmark, points_2k, clause, strategy, eps):
+    pts = points_2k[:N]
+    run_benchmark(
+        benchmark,
+        lambda: sgb_all(pts, eps, "l2", clause, strategy, tiebreak="first"),
+    )
+
+
+@pytest.mark.parametrize("eps", EPS_VALUES)
+@pytest.mark.parametrize("strategy", ["all-pairs", "index"])
+def test_fig9_d_sgb_any(benchmark, points_2k, strategy, eps):
+    pts = points_2k[:N]
+    run_benchmark(benchmark, lambda: sgb_any(pts, eps, "l2", strategy))

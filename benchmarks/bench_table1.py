@@ -1,0 +1,31 @@
+"""Table 1: SGB-All runtime per (strategy × ON-OVERLAP clause).
+
+The paper's Table 1 gives asymptotic bounds (All-Pairs O(n²)/O(n³),
+Bounds-Checking O(n|G|), on-the-fly Index O(n log |G|)).  These benchmarks
+time every cell at a fixed n; ``python -m repro.bench table1`` additionally
+fits the empirical growth exponents across n.
+"""
+
+import pytest
+
+from repro.core.api import sgb_all
+
+from conftest import run_benchmark
+
+N = 800
+EPS = 0.3  # on the 20x20 bench square
+
+STRATEGIES = ["all-pairs", "bounds-checking", "index"]
+CLAUSES = ["join-any", "eliminate", "form-new-group"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("clause", CLAUSES)
+def test_table1_cell(benchmark, points_1k, strategy, clause):
+    pts = points_1k[:N]
+    result = run_benchmark(
+        benchmark,
+        lambda: sgb_all(pts, EPS, "linf", clause, strategy,
+                        tiebreak="first"),
+    )
+    assert result.n_points == N

@@ -1,0 +1,26 @@
+"""Table 2: the nine TPC-H evaluation queries, end-to-end through SQL."""
+
+import pytest
+
+from repro.workloads import queries as Q
+
+from conftest import run_benchmark
+
+CATALOG = [
+    ("gb1", lambda: Q.gb1(quantity_threshold=60)),
+    ("gb2", lambda: Q.gb2()),
+    ("gb3", lambda: Q.gb3()),
+    ("sgb1", lambda: Q.sgb1(eps=50000)),
+    ("sgb2", lambda: Q.sgb2(eps=50000)),
+    ("sgb3", lambda: Q.sgb3(eps=5000, on_overlap="eliminate")),
+    ("sgb4", lambda: Q.sgb4(eps=5000)),
+    ("sgb5", lambda: Q.sgb5(eps=2000, on_overlap="form-new-group")),
+    ("sgb6", lambda: Q.sgb6(eps=2000)),
+]
+
+
+@pytest.mark.parametrize("name,make", CATALOG, ids=[n for n, _ in CATALOG])
+def test_table2_query(benchmark, tpch_db_sf1, name, make):
+    sql = make()
+    result = run_benchmark(benchmark, lambda: tpch_db_sf1.execute(sql))
+    assert result.columns

@@ -1,0 +1,42 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each benchmark file covers one paper table/figure (see DESIGN.md).  Sizes
+are chosen so the whole suite finishes in a few minutes while preserving
+the paper's method orderings; the ``python -m repro.bench`` CLI runs the
+full parameter sweeps that regenerate the actual figures.
+"""
+
+import pytest
+
+from repro.bench.experiments import tpch_buying_power_points, uniform_points
+from repro.workloads.checkins import brightkite
+from repro.workloads.tpch import load_tpch
+
+
+@pytest.fixture(scope="session")
+def points_1k():
+    return uniform_points(1000)
+
+@pytest.fixture(scope="session")
+def points_2k():
+    return uniform_points(2000)
+
+
+@pytest.fixture(scope="session")
+def tpch_points_sf1():
+    return tpch_buying_power_points(1.0)
+
+
+@pytest.fixture(scope="session")
+def tpch_db_sf1():
+    return load_tpch(1.0, tiebreak="first")
+
+
+@pytest.fixture(scope="session")
+def checkin_points_1k():
+    return brightkite(1000).points()
+
+
+def run_benchmark(benchmark, fn, rounds=3):
+    """Uniform pedantic configuration: a few rounds, no warmup inflation."""
+    return benchmark.pedantic(fn, rounds=rounds, iterations=1)

@@ -1,0 +1,72 @@
+"""SGB operators vs classic clustering — the paper's Figure 11 scenario.
+
+Runs DBSCAN, BIRCH, K-means and all four SGB variants over the same
+synthetic check-in data, reporting runtime and the groupings each produces.
+The point of the paper's comparison: SGB computes its groups in a single
+streaming pass inside the database, while the clustering algorithms iterate
+over the data repeatedly.
+
+    python examples/clustering_comparison.py [n_checkins]
+"""
+
+import sys
+import time
+
+from repro import sgb_all, sgb_any
+from repro.clustering import birch, dbscan, kmeans
+from repro.workloads.checkins import brightkite
+
+EPS = 0.2  # degrees, as in the paper's setup for SGB and DBSCAN
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return label, elapsed, result
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    points = brightkite(n).points()
+    print(f"{n} Brightkite-like check-ins, eps={EPS}\n")
+
+    runs = [
+        timed("DBSCAN (R-tree)", lambda: dbscan(points, EPS, min_pts=5)),
+        timed("BIRCH", lambda: birch(points, threshold=EPS, n_clusters=40)),
+        timed("K-means (k=40)", lambda: kmeans(points, 40, max_iter=30)),
+        timed("K-means (k=20)", lambda: kmeans(points, 20, max_iter=30)),
+        timed("SGB-All form-new",
+              lambda: sgb_all(points, EPS, "l2", "form-new-group", "index",
+                              tiebreak="first")),
+        timed("SGB-All eliminate",
+              lambda: sgb_all(points, EPS, "l2", "eliminate", "index",
+                              tiebreak="first")),
+        timed("SGB-All join-any",
+              lambda: sgb_all(points, EPS, "l2", "join-any", "index",
+                              tiebreak="first")),
+        timed("SGB-Any", lambda: sgb_any(points, EPS, "l2", "index")),
+    ]
+
+    print(f"{'method':22s} {'seconds':>9s}  groups")
+    for label, elapsed, result in runs:
+        if hasattr(result, "n_groups"):
+            groups = result.n_groups
+        elif hasattr(result, "n_clusters"):
+            groups = result.n_clusters
+        elif hasattr(result, "centroids"):
+            groups = len(result.centroids)
+        else:
+            groups = "?"
+        print(f"{label:22s} {elapsed:9.3f}  {groups}")
+
+    sgb_time = min(elapsed for label, elapsed, _ in runs
+                   if label.startswith("SGB"))
+    cluster_time = max(elapsed for label, elapsed, _ in runs
+                       if not label.startswith("SGB"))
+    print(f"\nslowest clustering / fastest SGB = "
+          f"{cluster_time / sgb_time:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

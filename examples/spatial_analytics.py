@@ -1,0 +1,75 @@
+"""Spatial analytics: similarity join + nearest-neighbour search.
+
+Combines the extension surface around the SGB operators: stores and
+clients are matched by an R-tree similarity join in SQL, then each
+unmatched client is diagnosed with a k-NN query on the same index
+structures the SGB operators use.
+
+    python examples/spatial_analytics.py [n_clients]
+"""
+
+import random
+import sys
+
+from repro import Database
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+
+
+def main() -> None:
+    n_clients = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    rng = random.Random(42)
+
+    stores = [(i, rng.uniform(0, 100), rng.uniform(0, 100))
+              for i in range(12)]
+    clients = [(i, rng.uniform(0, 100), rng.uniform(0, 100))
+               for i in range(n_clients)]
+
+    db = Database()
+    db.execute("CREATE TABLE stores (sid int, sx float, sy float)")
+    db.execute("CREATE TABLE clients (cid int, cx float, cy float)")
+    db.insert("stores", stores)
+    db.insert("clients", clients)
+
+    radius = 15.0
+    print(f"{len(stores)} stores, {n_clients} clients, "
+          f"service radius {radius}\n")
+
+    # how many clients does each store cover? (similarity join + group by)
+    coverage = db.execute(f"""
+        SELECT sid, count(*) AS covered
+        FROM stores, clients
+        WHERE dist_l2(sx, sy, cx, cy) <= {radius}
+        GROUP BY sid ORDER BY covered DESC
+    """)
+    print("clients within radius, per store:")
+    for sid, covered in coverage.rows[:6]:
+        print(f"  store {sid:2d}: {covered}")
+    print(f"  (plan uses {'SimilarityJoin' if 'SimilarityJoin' in db.explain(f'SELECT sid FROM stores, clients WHERE dist_l2(sx, sy, cx, cy) <= {radius}') else 'a nested loop'})")
+
+    # clients not covered by any store
+    uncovered = db.execute(f"""
+        SELECT cid, cx, cy FROM clients
+        WHERE cid NOT IN (
+            SELECT cid FROM stores, clients
+            WHERE dist_l2(sx, sy, cx, cy) <= {radius}
+        )
+    """)
+    print(f"\n{len(uncovered)} clients outside every service radius")
+
+    # for each, find the nearest store via a k-NN query on an R-tree
+    store_index = RTree.bulk_load(
+        [(Rect.from_point((x, y)), sid) for sid, x, y in stores]
+    )
+    worst = []
+    for cid, cx, cy in uncovered.rows:
+        [(dist, sid)] = store_index.nearest((cx, cy), k=1)
+        worst.append((dist, cid, sid))
+    worst.sort(reverse=True)
+    print("hardest-to-serve clients (nearest store, distance):")
+    for dist, cid, sid in worst[:5]:
+        print(f"  client {cid:4d} -> store {sid:2d} at distance {dist:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

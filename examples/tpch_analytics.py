@@ -1,0 +1,54 @@
+"""TPC-H analytics with similarity grouping — the paper's Table 2 workload.
+
+Loads the TPC-H-like generator into the engine and runs each business
+question with its standard-GROUP-BY and similarity variants side by side.
+
+    python examples/tpch_analytics.py [scale_factor]
+"""
+
+import sys
+
+from repro.workloads import queries as Q
+from repro.workloads.tpch import load_tpch
+
+
+def show(title: str, result, limit: int = 4) -> None:
+    print(f"{title}: {len(result)} row(s)")
+    print(f"  columns: {result.columns}")
+    for row in result.rows[:limit]:
+        rendered = [
+            f"[{len(v)} ids]" if isinstance(v, list) else v for v in row
+        ]
+        print(f"  {tuple(rendered)}")
+    if len(result) > limit:
+        print(f"  ... {len(result) - limit} more")
+    print()
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    db = load_tpch(scale_factor=sf, tiebreak="first")
+    counts = {t.name: len(t) for t in db.catalog}
+    print(f"TPC-H-like data at SF={sf}: {counts}\n")
+
+    show("GB1 — large-volume customers (Q18)",
+         db.execute(Q.gb1(quantity_threshold=60)))
+    show("SGB1 — customers with similar buying power (SGB-All)",
+         db.execute(Q.sgb1(eps=50000)))
+    show("SGB2 — same, connectivity semantics (SGB-Any)",
+         db.execute(Q.sgb2(eps=50000)))
+
+    show("GB2 — profit by nation and year (Q9)", db.execute(Q.gb2()))
+    show("SGB3 — parts with similar profit & shipment time (SGB-All)",
+         db.execute(Q.sgb3(eps=5000, on_overlap="eliminate")))
+
+    show("GB3 — top supplier by revenue (Q15)", db.execute(Q.gb3()))
+    show("SGB5 — suppliers with similar revenue & balance (SGB-All)",
+         db.execute(Q.sgb5(eps=2000, on_overlap="form-new-group")))
+
+    print("physical plan of SGB1:")
+    print(db.explain(Q.sgb1(eps=50000)))
+
+
+if __name__ == "__main__":
+    main()

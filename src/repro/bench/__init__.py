@@ -1,0 +1,12 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import Report, fit_loglog_slope, normalize_points, time_call
+
+__all__ = [
+    "EXPERIMENTS",
+    "Report",
+    "time_call",
+    "normalize_points",
+    "fit_loglog_slope",
+]

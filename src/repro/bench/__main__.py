@@ -1,0 +1,65 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench table2
+    python -m repro.bench fig9a fig9b --full
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full (slower) data sizes instead of quick mode",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append a log-scale ASCII chart of the numeric series",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}")
+
+    for name in names:
+        report = EXPERIMENTS[name](quick=not args.full)
+        print(report.to_csv() if args.csv else report.format())
+        if args.chart and not args.csv and report.rows:
+            numeric = [
+                c for c in report.columns[1:]
+                if isinstance(report.rows[0].get(c), (int, float))
+            ]
+            if numeric:
+                print()
+                print(report.ascii_chart(report.columns[0], numeric))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

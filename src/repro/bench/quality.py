@@ -1,0 +1,104 @@
+"""Grouping-quality metrics (from scratch) for comparing methods.
+
+The paper compares SGB against clustering on *runtime*; a downstream user
+also wants to know how the groupings relate.  This module provides the
+standard external clustering measures — Adjusted Rand Index, Normalized
+Mutual Information, and purity — implemented over plain label sequences so
+they apply uniformly to :class:`~repro.core.result.GroupingResult` labels,
+DBSCAN labels, and K-means labels.
+
+Negative labels (SGB ELIMINATE, DBSCAN noise) denote unassigned points;
+pairs involving them are excluded the same way scikit-learn treats them
+when filtered out, and :func:`filter_assigned` does the masking.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+
+def filter_assigned(
+    a: Sequence[int], b: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Drop positions where either labelling is negative (unassigned)."""
+    if len(a) != len(b):
+        raise InvalidParameterError("label sequences must align")
+    pairs = [(x, y) for x, y in zip(a, b) if x >= 0 and y >= 0]
+    return [x for x, _ in pairs], [y for _, y in pairs]
+
+
+def _contingency(a: Sequence[int], b: Sequence[int]) -> Dict[Tuple[int, int], int]:
+    table: Dict[Tuple[int, int], int] = Counter()
+    for x, y in zip(a, b):
+        table[(x, y)] += 1
+    return table
+
+
+def _comb2(n: int) -> float:
+    return n * (n - 1) / 2.0
+
+
+def adjusted_rand_index(a: Sequence[int], b: Sequence[int]) -> float:
+    """Adjusted Rand Index in [-1, 1]; 1 = identical partitions.
+
+    >>> adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0])
+    1.0
+    """
+    if len(a) != len(b):
+        raise InvalidParameterError("label sequences must align")
+    n = len(a)
+    if n == 0:
+        return 1.0
+    table = _contingency(a, b)
+    sum_cells = sum(_comb2(v) for v in table.values())
+    sum_a = sum(_comb2(v) for v in Counter(a).values())
+    sum_b = sum(_comb2(v) for v in Counter(b).values())
+    total = _comb2(n)
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return (sum_cells - expected) / (max_index - expected)
+
+
+def normalized_mutual_information(
+    a: Sequence[int], b: Sequence[int]
+) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1]."""
+    if len(a) != len(b):
+        raise InvalidParameterError("label sequences must align")
+    n = len(a)
+    if n == 0:
+        return 1.0
+    counts_a = Counter(a)
+    counts_b = Counter(b)
+    table = _contingency(a, b)
+    mi = 0.0
+    for (x, y), nxy in table.items():
+        p_xy = nxy / n
+        p_x = counts_a[x] / n
+        p_y = counts_b[y] / n
+        mi += p_xy * math.log(p_xy / (p_x * p_y))
+    h_a = -sum((c / n) * math.log(c / n) for c in counts_a.values())
+    h_b = -sum((c / n) * math.log(c / n) for c in counts_b.values())
+    denom = (h_a + h_b) / 2.0
+    if denom == 0.0:
+        return 1.0  # both labellings are single-cluster
+    return max(0.0, min(1.0, mi / denom))
+
+
+def purity(labels: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of points whose cluster's majority truth class matches."""
+    if len(labels) != len(truth):
+        raise InvalidParameterError("label sequences must align")
+    if not labels:
+        return 1.0
+    by_cluster: Dict[int, Counter] = {}
+    for lb, t in zip(labels, truth):
+        by_cluster.setdefault(lb, Counter())[t] += 1
+    correct = sum(c.most_common(1)[0][1] for c in by_cluster.values())
+    return correct / len(labels)

@@ -1,0 +1,16 @@
+"""Clustering baselines the paper compares SGB against (Figure 11)."""
+
+from repro.clustering.birch import BirchResult, CFTree, birch
+from repro.clustering.dbscan import NOISE, DBSCANResult, dbscan
+from repro.clustering.kmeans import KMeansResult, kmeans
+
+__all__ = [
+    "kmeans",
+    "KMeansResult",
+    "dbscan",
+    "DBSCANResult",
+    "NOISE",
+    "birch",
+    "BirchResult",
+    "CFTree",
+]

@@ -1,0 +1,29 @@
+"""Core SGB operators: distance metrics, predicates, SGB-All and SGB-Any."""
+
+from repro.core.api import sgb_all, sgb_any
+from repro.core.around import sgb_around_nd
+from repro.core.distance import L1, L2, LINF, Metric, MinkowskiMetric, resolve_metric
+from repro.core.predicate import SimilarityPredicate
+from repro.core.result import ELIMINATED, GroupingResult
+from repro.core.sgb_1d import sgb_around, sgb_segment
+from repro.core.sgb_all import SGBAllOperator
+from repro.core.sgb_any import SGBAnyOperator
+
+__all__ = [
+    "sgb_all",
+    "sgb_any",
+    "sgb_segment",
+    "sgb_around",
+    "sgb_around_nd",
+    "SGBAllOperator",
+    "SGBAnyOperator",
+    "GroupingResult",
+    "ELIMINATED",
+    "SimilarityPredicate",
+    "Metric",
+    "MinkowskiMetric",
+    "resolve_metric",
+    "L1",
+    "L2",
+    "LINF",
+]

@@ -1,0 +1,73 @@
+"""High-level array API for the SGB operators.
+
+These are the entry points a data-scientist user calls directly on point
+collections; the SQL engine's SGB executor node is built on the same
+operator classes.
+
+>>> from repro import sgb_any
+>>> res = sgb_any([(1, 1), (1.5, 1.2), (9, 9)], eps=1.0)
+>>> res.n_groups
+2
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.distance import Metric
+from repro.core.result import GroupingResult
+from repro.core.sgb_all import SGBAllOperator
+from repro.core.sgb_any import SGBAnyOperator
+
+
+def sgb_all(
+    points: Iterable[Sequence[float]],
+    eps: float,
+    metric: Union[str, Metric] = "l2",
+    on_overlap: str = "join-any",
+    strategy: str = "index",
+    tiebreak: str = "random",
+    seed: int = 0,
+    use_hull: bool = True,
+    rtree_max_entries: int = 8,
+    max_recursion: Optional[int] = None,
+) -> GroupingResult:
+    """Group ``points`` under the distance-to-all (clique) semantics.
+
+    Parameters mirror :class:`~repro.core.sgb_all.SGBAllOperator`; see the
+    paper's Section 6 for the algorithmics.  The result assigns every input
+    point a group label (or ``-1`` when dropped by ``on_overlap="eliminate"``).
+    """
+    op = SGBAllOperator(
+        eps=eps,
+        metric=metric,
+        on_overlap=on_overlap,
+        strategy=strategy,
+        tiebreak=tiebreak,
+        seed=seed,
+        use_hull=use_hull,
+        rtree_max_entries=rtree_max_entries,
+        max_recursion=max_recursion,
+    )
+    return op.add_many(points).finalize()
+
+
+def sgb_any(
+    points: Iterable[Sequence[float]],
+    eps: float,
+    metric: Union[str, Metric] = "l2",
+    strategy: str = "index",
+    rtree_max_entries: int = 16,
+) -> GroupingResult:
+    """Group ``points`` under the distance-to-any (connectivity) semantics.
+
+    Output groups are the connected components of the ε-neighbourhood graph
+    (paper Section 7); the result is independent of input order.
+    """
+    op = SGBAnyOperator(
+        eps=eps,
+        metric=metric,
+        strategy=strategy,
+        rtree_max_entries=rtree_max_entries,
+    )
+    return op.add_many(points).finalize()

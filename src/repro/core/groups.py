@@ -1,0 +1,184 @@
+"""The Group data structure shared by every SGB-All strategy.
+
+A group owns its member point ids and coordinates and incrementally
+maintains the structures the bounds-checking strategies rely on:
+
+* ``mbr`` — minimum bounding rectangle of the members (OverlapRectangleTest,
+  R-tree entry geometry);
+* ``eps_rect`` — the ε-All bounding rectangle of Definition 5, maintained by
+  intersecting each new member's ε-box (it only ever shrinks on insert);
+* ``hull`` — 2-D convex hull, maintained only when the metric is Euclidean
+  (the §6.4 refinement); ``None`` otherwise.
+
+Member removal (ELIMINATE / FORM-NEW-GROUP semantics) rebuilds the affected
+structures from the surviving members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.distance import Metric
+from repro.geometry.convex_hull import IncrementalHull
+from repro.geometry.rectangle import Rect, eps_all_rect
+
+Point = Tuple[float, ...]
+
+
+class Group:
+    """A candidate output group of SGB-All."""
+
+    __slots__ = ("gid", "eps", "metric", "member_ids", "points", "mbr",
+                 "eps_rect", "hull")
+
+    def __init__(self, gid: int, eps: float, metric: Metric, use_hull: bool):
+        self.gid = gid
+        self.eps = eps
+        self.metric = metric
+        self.member_ids: List[int] = []
+        self.points: List[Point] = []
+        self.mbr: Optional[Rect] = None
+        self.eps_rect: Optional[Rect] = None
+        self.hull: Optional[IncrementalHull] = IncrementalHull() if use_hull else None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.member_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Group(gid={self.gid}, size={len(self)})"
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def add(self, point_id: int, point: Point) -> None:
+        """Insert a member, updating MBR / ε-All rect / hull in O(d + h)."""
+        self.member_ids.append(point_id)
+        self.points.append(point)
+        box = Rect.eps_box(point, self.eps)
+        if self.mbr is None:
+            self.mbr = Rect.from_point(point)
+            self.eps_rect = box
+        else:
+            self.mbr = self.mbr.extend_point(point)
+            assert self.eps_rect is not None
+            self.eps_rect = self.eps_rect.intersection(box)
+        if self.hull is not None:
+            self.hull.add(point)
+
+    def remove_members(self, point_ids: Iterable[int]) -> None:
+        """Drop members by id and rebuild the derived structures."""
+        doomed = set(point_ids)
+        if not doomed:
+            return
+        kept = [
+            (mid, pt)
+            for mid, pt in zip(self.member_ids, self.points)
+            if mid not in doomed
+        ]
+        self.member_ids = [mid for mid, _ in kept]
+        self.points = [pt for _, pt in kept]
+        if not self.points:
+            self.mbr = None
+            self.eps_rect = None
+            if self.hull is not None:
+                self.hull.rebuild([])
+            return
+        self.mbr = Rect.from_points(self.points)
+        self.eps_rect = eps_all_rect(self.points, self.eps)
+        if self.hull is not None:
+            self.hull.rebuild(self.points)
+
+    # ------------------------------------------------------------------
+    # membership tests
+    # ------------------------------------------------------------------
+    def accepts(self, point: Point) -> bool:
+        """Exact clique test: is ``point`` within ε of *every* member?
+
+        L∞: the ε-All rectangle answers exactly in O(d).
+        L2 (2-D): ε-All rectangle filter, then the Convex Hull Test of §6.4.
+        L2 (other dims) / other metrics: rectangle filter, then member scan.
+        """
+        if self.eps_rect is None or not self.eps_rect.contains_point(point):
+            return False
+        if self.metric.name == "linf":
+            return True
+        return self.refine(point)
+
+    def refine(self, point: Point) -> bool:
+        """Exact post-rectangle test for non-L∞ metrics (paper §6.4).
+
+        Callers must have already established that ``point`` lies inside
+        the ε-All rectangle; this resolves the remaining false positives
+        via the convex-hull test (2-D) or a member scan.
+
+        A point inside the hull is within ε of every member (the hull of a
+        clique has the clique's diameter).  For an outside point, the
+        farthest member under any norm is a hull vertex (distance to a
+        fixed point is convex, so its maximum over the hull is at an
+        extreme point) — checking the O(log k) hull vertices against the
+        metric therefore decides membership exactly, for L2 and every
+        other Minkowski metric.
+        """
+        if self.hull is not None and len(point) == 2:
+            if self.hull.contains(point):
+                return True
+            within = self.metric.within
+            eps = self.eps
+            return all(
+                within(point, v, eps) for v in self.hull.vertices
+            )
+        return self.all_within(point)
+
+    def all_within(self, point: Point) -> bool:
+        """Brute-force clique test (used by the All-Pairs strategy)."""
+        within = self.metric.within
+        eps = self.eps
+        return all(within(point, q, eps) for q in self.points)
+
+    def any_within(self, point: Point) -> bool:
+        """True iff some member satisfies the similarity predicate."""
+        within = self.metric.within
+        eps = self.eps
+        return any(within(point, q, eps) for q in self.points)
+
+    def members_within(self, point: Point) -> List[int]:
+        """Ids of members within ε of ``point`` (overlap processing)."""
+        within = self.metric.within
+        eps = self.eps
+        return [
+            mid
+            for mid, q in zip(self.member_ids, self.points)
+            if within(point, q, eps)
+        ]
+
+
+class GroupRegistry:
+    """Id-ordered collection of live groups with stable id allocation."""
+
+    __slots__ = ("_groups", "_next_gid")
+
+    def __init__(self) -> None:
+        self._groups: Dict[int, Group] = {}
+        self._next_gid = 0
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self):
+        return iter(self._groups.values())
+
+    def get(self, gid: int) -> Group:
+        return self._groups[gid]
+
+    def new_group(self, eps: float, metric: Metric, use_hull: bool) -> Group:
+        g = Group(self._next_gid, eps, metric, use_hull)
+        self._groups[g.gid] = g
+        self._next_gid += 1
+        return g
+
+    def drop(self, gid: int) -> None:
+        del self._groups[gid]
+
+    def live_groups(self) -> List[Group]:
+        return list(self._groups.values())

@@ -1,0 +1,36 @@
+"""The similarity predicate ξ(δ, ε) of Definition 2."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.distance import Metric, resolve_metric
+from repro.errors import InvalidParameterError
+
+
+class SimilarityPredicate:
+    """Boolean predicate ``ξ(p, q) : δ(p, q) <= ε`` over a metric space.
+
+    >>> xi = SimilarityPredicate(eps=3, metric="linf")
+    >>> xi((1, 1), (3, 4))   # max(|2|, |3|) = 3 <= 3
+    True
+    >>> xi((1, 1), (3, 4.5))
+    False
+    """
+
+    __slots__ = ("eps", "metric")
+
+    def __init__(self, eps: float, metric: Union[str, Metric] = "l2"):
+        if eps < 0:
+            raise InvalidParameterError(f"eps must be non-negative, got {eps}")
+        self.eps = float(eps)
+        self.metric = resolve_metric(metric)
+
+    def __call__(self, p: Sequence[float], q: Sequence[float]) -> bool:
+        return self.metric.within(p, q, self.eps)
+
+    def distance(self, p: Sequence[float], q: Sequence[float]) -> float:
+        return self.metric.distance(p, q)
+
+    def __repr__(self) -> str:
+        return f"SimilarityPredicate(eps={self.eps}, metric={self.metric.name!r})"

@@ -1,0 +1,115 @@
+"""Result container returned by the array-level SGB APIs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+#: Label assigned to points dropped by the ELIMINATE semantics.
+ELIMINATED = -1
+
+
+class GroupingResult:
+    """Outcome of an SGB operator run over ``n`` input points.
+
+    Attributes
+    ----------
+    labels:
+        ``labels[i]`` is the group id of input point ``i`` (ids are dense,
+        ``0 .. n_groups-1``, in order of group creation) or ``ELIMINATED``
+        (-1) when the point was dropped by the ELIMINATE semantics.
+    points:
+        The input points, in input order.
+    """
+
+    __slots__ = ("labels", "points")
+
+    def __init__(self, labels: Sequence[int], points: Sequence[Point]):
+        if len(labels) != len(points):
+            raise ValueError("labels and points must align")
+        self.labels: List[int] = list(labels)
+        self.points: List[Point] = [tuple(p) for p in points]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        return len(self.labels)
+
+    @property
+    def n_groups(self) -> int:
+        live = {lb for lb in self.labels if lb != ELIMINATED}
+        return len(live)
+
+    @property
+    def n_eliminated(self) -> int:
+        return sum(1 for lb in self.labels if lb == ELIMINATED)
+
+    def groups(self) -> Dict[int, List[int]]:
+        """Group id -> member point indices (input order within a group)."""
+        out: Dict[int, List[int]] = {}
+        for i, lb in enumerate(self.labels):
+            if lb != ELIMINATED:
+                out.setdefault(lb, []).append(i)
+        return out
+
+    def group_points(self) -> Dict[int, List[Point]]:
+        """Group id -> member coordinates."""
+        return {
+            gid: [self.points[i] for i in idxs]
+            for gid, idxs in self.groups().items()
+        }
+
+    def group_sizes(self) -> List[int]:
+        """Sizes of all groups, sorted descending (the paper's ``count(*)``
+        output for Examples 1 and 2, up to ordering)."""
+        return sorted((len(v) for v in self.groups().values()), reverse=True)
+
+    def eliminated_indices(self) -> List[int]:
+        return [i for i, lb in enumerate(self.labels) if lb == ELIMINATED]
+
+    # ------------------------------------------------------------------
+    def relabeled(self) -> "GroupingResult":
+        """Return a copy with labels renumbered densely by first appearance.
+
+        Useful for comparing results across strategies, where group ids may
+        differ but the partition must match.
+        """
+        mapping: Dict[int, int] = {}
+        new_labels: List[int] = []
+        for lb in self.labels:
+            if lb == ELIMINATED:
+                new_labels.append(ELIMINATED)
+                continue
+            if lb not in mapping:
+                mapping[lb] = len(mapping)
+            new_labels.append(mapping[lb])
+        return GroupingResult(new_labels, self.points)
+
+    def partition(self) -> Tuple[frozenset, ...]:
+        """Order-insensitive canonical form: a set of member-index frozensets.
+
+        Two results describe the same grouping iff their partitions are equal
+        and their eliminated sets are equal.
+        """
+        return tuple(
+            sorted(
+                (frozenset(v) for v in self.groups().values()),
+                key=lambda s: min(s),
+            )
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GroupingResult):
+            return NotImplemented
+        return (
+            self.points == other.points
+            and self.partition() == other.partition()
+            and self.eliminated_indices() == other.eliminated_indices()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupingResult(n_points={self.n_points}, n_groups={self.n_groups}, "
+            f"eliminated={self.n_eliminated})"
+        )

@@ -1,0 +1,501 @@
+"""SGB-All: similarity group-by under the *distance-to-all* semantics (§6).
+
+Every output group is a clique under the similarity predicate: each member
+is within ``ε`` of **all** other members.  A point may qualify for several
+groups; the ``ON-OVERLAP`` clause arbitrates:
+
+* ``join-any`` — insert into one (randomly or first-created) candidate group;
+* ``eliminate`` — drop the point, and drop existing members that partially
+  overlap the new point's neighbourhood (Procedure ProcessOverlap);
+* ``form-new-group`` — defer the point (and partially-overlapping members
+  pulled from their groups) to a temporary set ``S'`` and re-run SGB-All on
+  ``S'`` recursively until it is empty.
+
+Three interchangeable strategies realize ``FindCloseGroups``:
+
+* :class:`AllPairsStrategy` — Procedure 2, O(n²) member scans;
+* :class:`BoundsCheckingStrategy` — Procedure 4, ε-All rectangle test per
+  group (exact for L∞, + convex-hull refinement for 2-D L2);
+* :class:`IndexedStrategy` — Procedure 5, an R-tree window query over group
+  MBRs replaces the linear scan of groups.
+
+All three produce the same grouping for the same input order (JOIN-ANY with
+``tiebreak="first"``; ELIMINATE and FORM-NEW-GROUP are deterministic), which
+the property-based tests exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.distance import Metric, resolve_metric
+from repro.core.groups import Group, GroupRegistry
+from repro.core.result import ELIMINATED, GroupingResult
+from repro.errors import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+
+Point = Tuple[float, ...]
+
+#: Canonical ON-OVERLAP clause spellings (SQL accepts hyphen/underscore).
+JOIN_ANY = "join-any"
+ELIMINATE_CLAUSE = "eliminate"
+FORM_NEW_GROUP = "form-new-group"
+_OVERLAP_CLAUSES = (JOIN_ANY, ELIMINATE_CLAUSE, FORM_NEW_GROUP)
+
+
+def normalize_overlap(clause: str) -> str:
+    c = clause.strip().lower().replace("_", "-")
+    if c in ("join-any", "joinany"):
+        return JOIN_ANY
+    if c == "eliminate":
+        return ELIMINATE_CLAUSE
+    if c in ("form-new-group", "form-new", "formnewgroup", "new-group"):
+        return FORM_NEW_GROUP
+    raise InvalidParameterError(
+        f"unknown ON-OVERLAP clause {clause!r}; expected one of {_OVERLAP_CLAUSES}"
+    )
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+class _StrategyBase:
+    """Owns the live groups and keeps auxiliary structures in sync."""
+
+    name = "abstract"
+
+    def __init__(self, eps: float, metric: Metric, use_hull: bool):
+        self.eps = eps
+        self.metric = metric
+        self.use_hull = use_hull
+        self.registry = GroupRegistry()
+
+    # -- FindCloseGroups -------------------------------------------------
+    def find_close_groups(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        raise NotImplementedError
+
+    # -- mutations ---------------------------------------------------------
+    def create_group(self, point_id: int, point: Point) -> Group:
+        g = self.registry.new_group(self.eps, self.metric, self.use_hull)
+        g.add(point_id, point)
+        self._index_insert(g)
+        return g
+
+    def add_member(self, group: Group, point_id: int, point: Point) -> None:
+        old_mbr = group.mbr
+        group.add(point_id, point)
+        self._index_moved(group, old_mbr)
+
+    def remove_members(self, group: Group, point_ids: Iterable[int]) -> None:
+        old_mbr = group.mbr
+        group.remove_members(point_ids)
+        if not group.member_ids:
+            self._index_delete(group, old_mbr)
+            self.registry.drop(group.gid)
+        else:
+            self._index_moved(group, old_mbr)
+
+    # -- index hooks (no-ops unless the strategy maintains one) -----------
+    def _index_insert(self, group: Group) -> None:
+        pass
+
+    def _index_moved(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        pass
+
+    def _index_delete(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        pass
+
+
+class AllPairsStrategy(_StrategyBase):
+    """Naive FindCloseGroups (Procedure 2): scan every member of every group."""
+
+    name = "all-pairs"
+
+    def find_close_groups(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        candidates: List[Group] = []
+        overlaps: List[Group] = []
+        within = self.metric.within
+        eps = self.eps
+        for g in self.registry:
+            candidate = True
+            overlap = False
+            for q in g.points:
+                if within(point, q, eps):
+                    overlap = True
+                else:
+                    candidate = False
+                    if not need_overlap:
+                        break  # JOIN-ANY can bail on the first miss
+                    if overlap:
+                        break  # both flags settled
+            if candidate:
+                candidates.append(g)
+            elif need_overlap and overlap:
+                overlaps.append(g)
+        return candidates, overlaps
+
+
+class BoundsCheckingStrategy(_StrategyBase):
+    """Procedure 4: ε-All rectangle test per group, linear scan of groups.
+
+    The 2-D scan is hand-unrolled: the per-group work is two closed-box
+    tests, and doing them on raw corner tuples (no method dispatch) is what
+    keeps this strategy ahead of All-Pairs at bench sizes, matching the
+    paper's ordering.
+    """
+
+    name = "bounds-checking"
+
+    def find_close_groups(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        if len(point) == 2:
+            return self._find_2d(point, need_overlap)
+        candidates: List[Group] = []
+        overlaps: List[Group] = []
+        window = Rect.eps_box(point, self.eps) if need_overlap else None
+        for g in self.registry:
+            if g.accepts(point):
+                candidates.append(g)
+            elif (
+                window is not None
+                and g.mbr is not None
+                and window.intersects(g.mbr)
+                and g.any_within(point)
+            ):
+                overlaps.append(g)
+        return candidates, overlaps
+
+    def _find_2d(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        candidates: List[Group] = []
+        overlaps: List[Group] = []
+        x, y = point
+        eps = self.eps
+        wlo0, wlo1 = x - eps, y - eps
+        whi0, whi1 = x + eps, y + eps
+        exact = self.metric.name == "linf"
+        for g in self.registry:
+            rect = g.eps_rect
+            lo = rect.lo
+            hi = rect.hi
+            if lo[0] <= x <= hi[0] and lo[1] <= y <= hi[1]:
+                if exact or g.refine(point):
+                    candidates.append(g)
+                    continue
+                # an L2 false positive may still partially overlap
+            if need_overlap:
+                mbr = g.mbr
+                mlo = mbr.lo
+                mhi = mbr.hi
+                if (mlo[0] <= whi0 and wlo0 <= mhi[0]
+                        and mlo[1] <= whi1 and wlo1 <= mhi[1]
+                        and g.any_within(point)):
+                    overlaps.append(g)
+        return candidates, overlaps
+
+
+class IndexedStrategy(_StrategyBase):
+    """Procedure 5: on-the-fly R-tree over group MBRs.
+
+    A window query with the point's ε-box returns every group that could be
+    a candidate *or* an overlap group (a member within ε of the point lies
+    inside the ε-box, hence the group MBR intersects it), so only returned
+    groups are tested.
+    """
+
+    name = "index"
+
+    def __init__(
+        self,
+        eps: float,
+        metric: Metric,
+        use_hull: bool,
+        rtree_max_entries: int = 8,
+    ):
+        super().__init__(eps, metric, use_hull)
+        self._rtree = RTree(max_entries=rtree_max_entries)
+
+    def find_close_groups(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        candidates: List[Group] = []
+        overlaps: List[Group] = []
+        window = Rect.eps_box(point, self.eps)
+        for gid in self._rtree.search(window):
+            g = self.registry.get(gid)
+            if g.accepts(point):
+                candidates.append(g)
+            elif need_overlap and g.any_within(point):
+                overlaps.append(g)
+        # Window queries return groups in tree order; keep results stable by
+        # creation id so all strategies agree under deterministic tiebreaks.
+        candidates.sort(key=lambda g: g.gid)
+        overlaps.sort(key=lambda g: g.gid)
+        return candidates, overlaps
+
+    def _index_insert(self, group: Group) -> None:
+        assert group.mbr is not None
+        self._rtree.insert(group.mbr, group.gid)
+
+    def _index_moved(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        assert group.mbr is not None and old_mbr is not None
+        if group.mbr != old_mbr:
+            self._rtree.update(old_mbr, group.mbr, group.gid)
+
+    def _index_delete(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        assert old_mbr is not None
+        self._rtree.delete(old_mbr, group.gid)
+
+
+_STRATEGIES = {
+    "all-pairs": AllPairsStrategy,
+    "allpairs": AllPairsStrategy,
+    "naive": AllPairsStrategy,
+    "bounds-checking": BoundsCheckingStrategy,
+    "bounds": BoundsCheckingStrategy,
+    "index": IndexedStrategy,
+    "indexed": IndexedStrategy,
+    "rtree": IndexedStrategy,
+}
+
+
+# ----------------------------------------------------------------------
+# the operator
+# ----------------------------------------------------------------------
+class SGBAllOperator:
+    """Streaming SGB-All operator (Procedure 1).
+
+    Feed points with :meth:`add` (or construct via
+    :func:`repro.core.api.sgb_all`), then call :meth:`finalize` to obtain a
+    :class:`~repro.core.result.GroupingResult`.  FORM-NEW-GROUP performs its
+    recursive re-grouping of the deferred set inside ``finalize``.
+
+    Parameters
+    ----------
+    eps:
+        Similarity threshold ``ε >= 0`` (``0`` degenerates to equality
+        grouping, i.e. the standard GROUP BY).
+    metric:
+        ``"l2"``, ``"linf"``, or a :class:`~repro.core.distance.Metric`.
+    on_overlap:
+        ``"join-any"`` | ``"eliminate"`` | ``"form-new-group"``.
+    strategy:
+        ``"all-pairs"`` | ``"bounds-checking"`` | ``"index"``.
+    tiebreak:
+        JOIN-ANY arbitration: ``"random"`` (paper semantics, seeded) or
+        ``"first"`` (deterministic lowest group id; used to compare
+        strategies).
+    use_hull:
+        Enable the §6.4 convex-hull refinement for 2-D L2 (ignored for L∞).
+        Disabling it falls back to exact member scans after the rectangle
+        filter — still correct, benchmarked as an ablation.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        metric: Union[str, Metric] = "l2",
+        on_overlap: str = JOIN_ANY,
+        strategy: str = "index",
+        tiebreak: str = "random",
+        seed: int = 0,
+        rtree_max_entries: int = 8,
+        use_hull: bool = True,
+        max_recursion: Optional[int] = None,
+        count_distance_computations: bool = False,
+    ):
+        if eps < 0:
+            raise InvalidParameterError(f"eps must be non-negative, got {eps}")
+        self.eps = float(eps)
+        self.metric = resolve_metric(metric)
+        if count_distance_computations:
+            from repro.core.stats import CountingMetric
+
+            self.metric = CountingMetric(self.metric)
+        self.on_overlap = normalize_overlap(on_overlap)
+        if tiebreak not in ("random", "first"):
+            raise InvalidParameterError(
+                f"tiebreak must be 'random' or 'first', got {tiebreak!r}"
+            )
+        self.tiebreak = tiebreak
+        self.max_recursion = max_recursion
+        self._rng = random.Random(seed)
+        self._rtree_max_entries = rtree_max_entries
+        self._use_hull_opt = use_hull
+        try:
+            self._strategy_cls = _STRATEGIES[strategy.strip().lower()]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{sorted(set(_STRATEGIES))}"
+            ) from None
+
+        self._points: List[Point] = []
+        self._dim: Optional[int] = None
+        self._eliminated: Set[int] = set()
+        self._deferred: List[int] = []
+        self._strategy: Optional[_StrategyBase] = None
+        self._finished_registries: List[GroupRegistry] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @property
+    def strategy_name(self) -> str:
+        return self._strategy_cls.name
+
+    @property
+    def distance_computations(self) -> int:
+        """Similarity-predicate evaluations so far (requires
+        ``count_distance_computations=True``)."""
+        calls = getattr(self.metric, "calls", None)
+        if calls is None:
+            raise RuntimeError(
+                "construct the operator with count_distance_computations="
+                "True to collect this statistic"
+            )
+        return calls
+
+    def _make_strategy(self) -> _StrategyBase:
+        use_hull = (
+            self._use_hull_opt
+            and self.metric.name != "linf"
+            and self._dim == 2
+        )
+        if self._strategy_cls is IndexedStrategy:
+            return IndexedStrategy(
+                self.eps, self.metric, use_hull, self._rtree_max_entries
+            )
+        return self._strategy_cls(self.eps, self.metric, use_hull)
+
+    # ------------------------------------------------------------------
+    def add(self, point: Sequence[float]) -> None:
+        """Process one input tuple's grouping attributes."""
+        if self._finalized:
+            raise RuntimeError("operator already finalized")
+        pt = tuple(float(v) for v in point)
+        if self._dim is None:
+            self._dim = len(pt)
+            if self._dim < 1:
+                raise InvalidParameterError("points must have >= 1 dimension")
+            self._strategy = self._make_strategy()
+        elif len(pt) != self._dim:
+            raise InvalidParameterError(
+                f"point dimension {len(pt)} != {self._dim}"
+            )
+        pid = len(self._points)
+        self._points.append(pt)
+        assert self._strategy is not None
+        self._process_point(self._strategy, pid, self._deferred)
+
+    def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAllOperator":
+        for p in points:
+            self.add(p)
+        return self
+
+    # ------------------------------------------------------------------
+    def _process_point(
+        self, strat: _StrategyBase, pid: int, deferred_out: List[int]
+    ) -> None:
+        """One iteration of Procedure 1 for point ``pid``."""
+        point = self._points[pid]
+        need_overlap = self.on_overlap != JOIN_ANY
+        candidates, overlaps = strat.find_close_groups(point, need_overlap)
+
+        # -- ProcessGroupingALL (Procedure 3) --------------------------
+        if not candidates:
+            strat.create_group(pid, point)
+        elif len(candidates) == 1:
+            strat.add_member(candidates[0], pid, point)
+        elif self.on_overlap == JOIN_ANY:
+            chosen = (
+                self._rng.choice(candidates)
+                if self.tiebreak == "random"
+                else candidates[0]  # already sorted by gid
+            )
+            strat.add_member(chosen, pid, point)
+        elif self.on_overlap == ELIMINATE_CLAUSE:
+            self._eliminated.add(pid)
+        else:  # FORM-NEW-GROUP: defer to S'
+            deferred_out.append(pid)
+
+        # -- ProcessOverlap --------------------------------------------
+        if need_overlap and overlaps:
+            for g in overlaps:
+                doomed = g.members_within(point)
+                if not doomed:
+                    continue
+                strat.remove_members(g, doomed)
+                if self.on_overlap == ELIMINATE_CLAUSE:
+                    self._eliminated.update(doomed)
+                else:
+                    deferred_out.extend(doomed)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> GroupingResult:
+        """Close the input stream and return the grouping.
+
+        For FORM-NEW-GROUP this runs the recursive re-grouping of the
+        deferred set ``S'`` (a fresh SGB-All pass per recursion level) until
+        ``S'`` is empty.  A no-progress level (possible only in adversarial
+        configurations) degrades gracefully to singleton groups, which is
+        consistent with the clause's "create a new group for this tuple"
+        intent and guarantees termination.
+        """
+        if self._finalized:
+            raise RuntimeError("operator already finalized")
+        self._finalized = True
+        if self._strategy is not None:
+            self._finished_registries.append(self._strategy.registry)
+
+        pending = self._deferred
+        depth = 0
+        while pending:
+            if self.max_recursion is not None and depth >= self.max_recursion:
+                self._force_singletons(pending)
+                break
+            strat = self._make_strategy()
+            next_deferred: List[int] = []
+            for pid in pending:
+                self._process_point(strat, pid, next_deferred)
+            self._finished_registries.append(strat.registry)
+            if sorted(next_deferred) == sorted(pending):
+                # No progress is possible; make each remaining point its own
+                # group rather than looping forever.
+                self._drop_registry_assignments(strat.registry)
+                self._finished_registries.pop()
+                self._force_singletons(pending)
+                break
+            pending = next_deferred
+            depth += 1
+
+        labels = [ELIMINATED] * len(self._points)
+        next_label = 0
+        for registry in self._finished_registries:
+            for g in sorted(registry, key=lambda g: g.gid):
+                for pid in g.member_ids:
+                    labels[pid] = next_label
+                next_label += 1
+        # Eliminated points stay -1; sanity: they were never assigned above.
+        return GroupingResult(labels, self._points)
+
+    def _force_singletons(self, pids: Iterable[int]) -> None:
+        strat = self._make_strategy()
+        registry = strat.registry
+        for pid in pids:
+            g = registry.new_group(self.eps, self.metric, False)
+            g.add(pid, self._points[pid])
+        self._finished_registries.append(registry)
+
+    @staticmethod
+    def _drop_registry_assignments(registry: GroupRegistry) -> None:
+        for g in registry:
+            g.member_ids.clear()
+            g.points.clear()

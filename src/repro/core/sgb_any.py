@@ -1,0 +1,226 @@
+"""SGB-Any: similarity group-by under the *distance-to-any* semantics (§7).
+
+Groups are the connected components of the ε-neighbourhood graph: a point
+belongs to a group if it is within ``ε`` of at least one other member.  When
+a new point touches several groups they merge, so no overlap clause exists.
+
+Strategies for ``FindCandidateGroups``:
+
+* :class:`NaiveAnyStrategy` — scan every previously processed point (O(n²));
+* :class:`RTreeAnyStrategy` — Procedure 8: an R-tree over processed points
+  answers the ε-box window query, L2 candidates are verified exactly, and a
+  Union-Find forest tracks created/merged groups (Procedure 9);
+* :class:`GridAnyStrategy` — ablation: a uniform hash grid instead of the
+  R-tree (same window-query contract).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.distance import Metric, resolve_metric
+from repro.core.result import GroupingResult
+from repro.dsu.union_find import UnionFind
+from repro.errors import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+
+Point = Tuple[float, ...]
+
+
+class _AnyStrategyBase:
+    """Finds ids of previously-seen points within ε of a probe point."""
+
+    name = "abstract"
+
+    def __init__(self, eps: float, metric: Metric):
+        self.eps = eps
+        self.metric = metric
+
+    def neighbors(self, point: Point) -> List[int]:
+        raise NotImplementedError
+
+    def insert(self, point_id: int, point: Point) -> None:
+        raise NotImplementedError
+
+
+class NaiveAnyStrategy(_AnyStrategyBase):
+    """All-pairs scan over processed points."""
+
+    name = "all-pairs"
+
+    def __init__(self, eps: float, metric: Metric):
+        super().__init__(eps, metric)
+        self._points: List[Point] = []
+
+    def neighbors(self, point: Point) -> List[int]:
+        within = self.metric.within
+        eps = self.eps
+        return [i for i, q in enumerate(self._points) if within(point, q, eps)]
+
+    def insert(self, point_id: int, point: Point) -> None:
+        assert point_id == len(self._points), "ids must be dense and ordered"
+        self._points.append(point)
+
+
+class RTreeAnyStrategy(_AnyStrategyBase):
+    """Procedure 8: R-tree (``Points_IX``) over processed points.
+
+    The ε-box window query is exact for L∞ (the box *is* the L∞ ball); for
+    other metrics the returned set is verified with the actual distance
+    (``VerifyPoints`` in the paper).
+    """
+
+    name = "index"
+
+    def __init__(self, eps: float, metric: Metric, rtree_max_entries: int = 16):
+        super().__init__(eps, metric)
+        self._rtree = RTree(max_entries=rtree_max_entries)
+
+    def neighbors(self, point: Point) -> List[int]:
+        window = Rect.eps_box(point, self.eps)
+        hits = self._rtree.search_with_rects(window)
+        if self.metric.name == "linf":
+            return [pid for _, pid in hits]
+        within = self.metric.within
+        eps = self.eps
+        return [pid for rect, pid in hits if within(point, rect.lo, eps)]
+
+    def insert(self, point_id: int, point: Point) -> None:
+        self._rtree.insert(Rect.from_point(point), point_id)
+
+
+class GridAnyStrategy(_AnyStrategyBase):
+    """Uniform-grid variant (ablation; see DESIGN.md)."""
+
+    name = "grid"
+
+    def __init__(self, eps: float, metric: Metric):
+        if eps <= 0:
+            raise InvalidParameterError(
+                "the grid strategy requires eps > 0 (cell side is eps)"
+            )
+        super().__init__(eps, metric)
+        self._grid = GridIndex(cell_size=eps)
+
+    def neighbors(self, point: Point) -> List[int]:
+        window = Rect.eps_box(point, self.eps)
+        hits = self._grid.search_with_points(window)
+        if self.metric.name == "linf":
+            return [pid for _, pid in hits]
+        within = self.metric.within
+        eps = self.eps
+        return [pid for pt, pid in hits if within(point, pt, eps)]
+
+    def insert(self, point_id: int, point: Point) -> None:
+        self._grid.insert(point, point_id)
+
+
+_STRATEGIES = {
+    "all-pairs": NaiveAnyStrategy,
+    "allpairs": NaiveAnyStrategy,
+    "naive": NaiveAnyStrategy,
+    "index": RTreeAnyStrategy,
+    "indexed": RTreeAnyStrategy,
+    "rtree": RTreeAnyStrategy,
+    "grid": GridAnyStrategy,
+}
+
+
+class SGBAnyOperator:
+    """Streaming SGB-Any operator (Procedure 7).
+
+    Each arriving point is unioned with every ε-neighbour already seen; the
+    Union-Find forest merges groups on contact (Procedure 9,
+    ``MergeGroupsInsert``), so the final components are exactly the connected
+    components of the ε-graph regardless of input order.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        metric: Union[str, Metric] = "l2",
+        strategy: str = "index",
+        rtree_max_entries: int = 16,
+        count_distance_computations: bool = False,
+    ):
+        if eps < 0:
+            raise InvalidParameterError(f"eps must be non-negative, got {eps}")
+        self.eps = float(eps)
+        self.metric = resolve_metric(metric)
+        if count_distance_computations:
+            from repro.core.stats import CountingMetric
+
+            self.metric = CountingMetric(self.metric)
+        key = strategy.strip().lower()
+        try:
+            strategy_cls = _STRATEGIES[key]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{sorted(set(_STRATEGIES))}"
+            ) from None
+        if strategy_cls is RTreeAnyStrategy:
+            self._strategy: _AnyStrategyBase = RTreeAnyStrategy(
+                self.eps, self.metric, rtree_max_entries
+            )
+        else:
+            self._strategy = strategy_cls(self.eps, self.metric)
+        self._uf = UnionFind()
+        self._points: List[Point] = []
+        self._dim: Optional[int] = None
+        self._finalized = False
+
+    @property
+    def strategy_name(self) -> str:
+        return self._strategy.name
+
+    @property
+    def distance_computations(self) -> int:
+        """Similarity-predicate evaluations so far (requires
+        ``count_distance_computations=True``)."""
+        calls = getattr(self.metric, "calls", None)
+        if calls is None:
+            raise RuntimeError(
+                "construct the operator with count_distance_computations="
+                "True to collect this statistic"
+            )
+        return calls
+
+    def add(self, point: Sequence[float]) -> None:
+        if self._finalized:
+            raise RuntimeError("operator already finalized")
+        pt = tuple(float(v) for v in point)
+        if self._dim is None:
+            self._dim = len(pt)
+            if self._dim < 1:
+                raise InvalidParameterError("points must have >= 1 dimension")
+        elif len(pt) != self._dim:
+            raise InvalidParameterError(
+                f"point dimension {len(pt)} != {self._dim}"
+            )
+        pid = len(self._points)
+        self._points.append(pt)
+        self._uf.add(pid)
+        for nb in self._strategy.neighbors(pt):
+            self._uf.union(pid, nb)
+        self._strategy.insert(pid, pt)
+
+    def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAnyOperator":
+        for p in points:
+            self.add(p)
+        return self
+
+    def finalize(self) -> GroupingResult:
+        if self._finalized:
+            raise RuntimeError("operator already finalized")
+        self._finalized = True
+        labels: List[int] = []
+        root_to_label: dict = {}
+        for pid in range(len(self._points)):
+            root = self._uf.find(pid)
+            if root not in root_to_label:
+                root_to_label[root] = len(root_to_label)
+            labels.append(root_to_label[root])
+        return GroupingResult(labels, self._points)

@@ -1,0 +1,5 @@
+"""Disjoint-set (Union-Find) substrate."""
+
+from repro.dsu.union_find import UnionFind
+
+__all__ = ["UnionFind"]

@@ -1,0 +1,16 @@
+"""Relational engine substrate: catalog, tables, executor, SQL facade."""
+
+from repro.engine.catalog import Catalog
+from repro.engine.database import Database, QueryResult, StatementResult
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "StatementResult",
+    "Catalog",
+    "Table",
+    "Schema",
+    "Column",
+]

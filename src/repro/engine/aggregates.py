@@ -1,0 +1,263 @@
+"""Aggregate function implementations for the aggregation operators.
+
+Each aggregate is an accumulator factory with the classic
+``init`` / ``step`` / ``final`` protocol, so both the standard hash
+GROUP BY node and the SGB node drive them identically.  The registry
+includes the paper's user-defined aggregates: ``array_agg``/``list_id``
+(collect values) and ``st_polygon`` (enclosing polygon of the group's
+2-D grouping attributes — Section 5 queries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.geometry.polygon import Polygon
+
+
+class Accumulator:
+    """One aggregate's running state for one group."""
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        raise NotImplementedError
+
+    def final(self) -> Any:
+        raise NotImplementedError
+
+
+class _Count(Accumulator):
+    def __init__(self) -> None:
+        self.n = 0
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        if not args or args[0] is not None:
+            self.n += 1
+
+    def final(self) -> Any:
+        return self.n
+
+
+class _Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        v = args[0]
+        if v is None:
+            return
+        self.total = v if self.total is None else self.total + v
+
+    def final(self) -> Any:
+        return self.total
+
+
+class _Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        v = args[0]
+        if v is None:
+            return
+        self.total += v
+        self.n += 1
+
+    def final(self) -> Any:
+        return self.total / self.n if self.n else None
+
+
+class _Min(Accumulator):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        v = args[0]
+        if v is None:
+            return
+        if self.value is None or v < self.value:
+            self.value = v
+
+    def final(self) -> Any:
+        return self.value
+
+
+class _Max(Accumulator):
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        v = args[0]
+        if v is None:
+            return
+        if self.value is None or v > self.value:
+            self.value = v
+
+    def final(self) -> Any:
+        return self.value
+
+
+class _ArrayAgg(Accumulator):
+    def __init__(self) -> None:
+        self.values: List[Any] = []
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        self.values.append(args[0])
+
+    def final(self) -> Any:
+        return self.values
+
+
+class _StPolygon(Accumulator):
+    """``ST_Polygon(x, y)`` — convex polygon enclosing the group's points."""
+
+    def __init__(self) -> None:
+        self.points: List[Tuple[float, float]] = []
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        x, y = args
+        if x is None or y is None:
+            return
+        self.points.append((float(x), float(y)))
+
+    def final(self) -> Any:
+        return Polygon.enclosing(self.points) if self.points else None
+
+
+class _Variance(Accumulator):
+    """Welford's online variance; ``sample=True`` for the n-1 denominator."""
+
+    def __init__(self, sample: bool, sqrt: bool):
+        self.sample = sample
+        self.sqrt = sqrt
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        v = args[0]
+        if v is None:
+            return
+        self.n += 1
+        delta = v - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (v - self.mean)
+
+    def final(self) -> Any:
+        denom = self.n - 1 if self.sample else self.n
+        if denom <= 0:
+            return None
+        value = self.m2 / denom
+        if self.sqrt:
+            value = value ** 0.5
+        return value
+
+
+def _stddev() -> Accumulator:
+    return _Variance(sample=True, sqrt=True)
+
+
+def _stddev_pop() -> Accumulator:
+    return _Variance(sample=False, sqrt=True)
+
+
+def _variance() -> Accumulator:
+    return _Variance(sample=True, sqrt=False)
+
+
+def _var_pop() -> Accumulator:
+    return _Variance(sample=False, sqrt=False)
+
+
+class _Median(Accumulator):
+    def __init__(self) -> None:
+        self.values: List[Any] = []
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        if args[0] is not None:
+            self.values.append(args[0])
+
+    def final(self) -> Any:
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class _StringAgg(Accumulator):
+    """``string_agg(value, separator)`` — separator must be constant per
+    group (SQL requires a constant there anyway)."""
+
+    def __init__(self) -> None:
+        self.parts: List[str] = []
+        self.sep: Any = None
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        value, sep = args
+        if sep is not None:
+            self.sep = sep
+        if value is not None:
+            self.parts.append(str(value))
+
+    def final(self) -> Any:
+        if not self.parts:
+            return None
+        return (self.sep or "").join(self.parts)
+
+
+class _DistinctWrapper(Accumulator):
+    def __init__(self, inner: Accumulator):
+        self.inner = inner
+        self.seen: set = set()
+
+    def step(self, args: Tuple[Any, ...]) -> None:
+        if args in self.seen:
+            return
+        self.seen.add(args)
+        self.inner.step(args)
+
+    def final(self) -> Any:
+        return self.inner.final()
+
+
+_AGGREGATES: dict = {
+    "count": (_Count, (0, 1)),
+    "sum": (_Sum, (1,)),
+    "avg": (_Avg, (1,)),
+    "average": (_Avg, (1,)),
+    "min": (_Min, (1,)),
+    "max": (_Max, (1,)),
+    "array_agg": (_ArrayAgg, (1,)),
+    "list_id": (_ArrayAgg, (1,)),  # the paper's List-ID UDA
+    "st_polygon": (_StPolygon, (2,)),
+    "stddev": (_stddev, (1,)),
+    "stddev_samp": (_stddev, (1,)),
+    "stddev_pop": (_stddev_pop, (1,)),
+    "variance": (_variance, (1,)),
+    "var_samp": (_variance, (1,)),
+    "var_pop": (_var_pop, (1,)),
+    "median": (_Median, (1,)),
+    "string_agg": (_StringAgg, (2,)),
+}
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in _AGGREGATES
+
+
+def make_accumulator(name: str, n_args: int, distinct: bool = False) -> Accumulator:
+    name = name.lower()
+    try:
+        cls, arities = _AGGREGATES[name]
+    except KeyError:
+        raise PlanningError(f"unknown aggregate {name!r}") from None
+    if n_args not in arities:
+        raise PlanningError(
+            f"aggregate {name} takes {arities} argument(s), got {n_args}"
+        )
+    acc: Accumulator = cls()
+    return _DistinctWrapper(acc) if distinct else acc

@@ -1,0 +1,53 @@
+"""The catalog: name -> table mapping for one database instance."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Holds the tables of a :class:`~repro.engine.database.Database`."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Sequence[Tuple[str, str]], if_not_exists: bool = False
+    ) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} does not exist; known tables: "
+                f"{sorted(self._tables) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

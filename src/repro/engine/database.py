@@ -1,0 +1,230 @@
+"""The Database facade: tables + SQL execution.
+
+>>> from repro import Database
+>>> db = Database()
+>>> db.execute("CREATE TABLE pts (x float, y float)")
+StatementResult(status='CREATE TABLE')
+>>> db.execute("INSERT INTO pts VALUES (1, 1), (1.5, 1.2), (9, 9)")
+StatementResult(status='INSERT 3')
+>>> db.execute(
+...     "SELECT count(*) FROM pts "
+...     "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+... ).rows
+[(2,), (1,)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.executor.sgb import SGBConfig
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.errors import PlanningError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+
+
+class QueryResult:
+    """Materialized result of a SELECT."""
+
+    def __init__(self, columns: List[str], rows: List[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, i: int) -> tuple:
+        return self.rows[i]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.columns}, {len(self.rows)} rows)"
+
+
+class StatementResult:
+    """Result of a DDL/DML statement."""
+
+    def __init__(self, status: str):
+        self.status = status
+
+    def __repr__(self) -> str:
+        return f"StatementResult(status={self.status!r})"
+
+
+class Database:
+    """An embedded relational database with similarity GROUP BY support.
+
+    Parameters configure how the SGB executor node runs (they correspond to
+    the algorithm choices evaluated in the paper):
+
+    ``sgb_all_strategy`` / ``sgb_any_strategy``
+        ``"all-pairs"`` | ``"bounds-checking"`` | ``"index"`` (All only has
+        all three; Any supports ``"all-pairs"`` | ``"index"`` | ``"grid"``).
+    ``tiebreak`` / ``seed``
+        JOIN-ANY arbitration, see :class:`~repro.core.sgb_all.SGBAllOperator`.
+    """
+
+    def __init__(
+        self,
+        sgb_all_strategy: str = "index",
+        sgb_any_strategy: str = "index",
+        tiebreak: str = "random",
+        seed: int = 0,
+    ):
+        self.catalog = Catalog()
+        self.sgb_config = SGBConfig(
+            all_strategy=sgb_all_strategy,
+            any_strategy=sgb_any_strategy,
+            tiebreak=tiebreak,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # python-level API
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, columns: Sequence[Tuple[str, str]]
+    ) -> Table:
+        return self.catalog.create_table(name, columns)
+
+    def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        return self.catalog.get(table).insert_many(rows)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    # ------------------------------------------------------------------
+    # SQL API
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Execute one or more ``;``-separated statements.
+
+        Returns the result of the *last* statement: a :class:`QueryResult`
+        for SELECT, a :class:`StatementResult` otherwise.
+        """
+        result: Any = None
+        for stmt in parse(sql):
+            result = self._execute_statement(stmt)
+        return result
+
+    def query(self, sql: str) -> QueryResult:
+        """Execute a single SELECT and return its result."""
+        result = self.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise PlanningError("query() expects a SELECT statement")
+        return result
+
+    def explain(self, sql: str) -> str:
+        """Render the physical plan of a SELECT (like EXPLAIN)."""
+        stmts = parse(sql)
+        if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
+            raise PlanningError("explain() expects a single SELECT")
+        plan = self._planner().plan_query(stmts[0])
+        return plan.explain()
+
+    def explain_analyze(self, sql: str) -> str:
+        """EXPLAIN with actual row counts and per-operator wall time.
+
+        Every operator in this engine is re-iterable (state is built inside
+        ``__iter__``), so each subtree is simply executed once; reported
+        times therefore *include* the subtree's children, like the
+        inclusive times in PostgreSQL's EXPLAIN ANALYZE.
+        """
+        import time as _time
+
+        stmts = parse(sql)
+        if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
+            raise PlanningError("explain_analyze() expects a single SELECT")
+        plan = self._planner().plan_query(stmts[0])
+        lines: list = []
+
+        def walk(node, indent: int) -> None:
+            start = _time.perf_counter()
+            rows = sum(1 for _ in node)
+            elapsed = (_time.perf_counter() - start) * 1000
+            lines.append(
+                "  " * indent
+                + f"-> {node.describe()} "
+                + f"(actual rows={rows}, time={elapsed:.2f} ms)"
+            )
+            for child in node.children():
+                walk(child, indent + 1)
+
+        walk(plan, 0)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _planner(self) -> Planner:
+        return Planner(self.catalog, self.sgb_config)
+
+    def _execute_statement(self, stmt: Any):
+        if isinstance(stmt, (ast.Select, ast.Union)):
+            plan = self._planner().plan_query(stmt)
+            return QueryResult(plan.schema.names(), plan.rows())
+        if isinstance(stmt, ast.CreateTable):
+            self.catalog.create_table(
+                stmt.name,
+                [(c.name, c.type_name) for c in stmt.columns],
+                if_not_exists=stmt.if_not_exists,
+            )
+            return StatementResult("CREATE TABLE")
+        if isinstance(stmt, ast.DropTable):
+            self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+            return StatementResult("DROP TABLE")
+        if isinstance(stmt, ast.CreateIndex):
+            table = self.catalog.get(stmt.table)
+            if stmt.if_not_exists and stmt.name.lower() in table.indexes:
+                return StatementResult("CREATE INDEX")
+            table.create_index(stmt.name, stmt.column)
+            return StatementResult("CREATE INDEX")
+        if isinstance(stmt, ast.DropIndex):
+            self.catalog.get(stmt.table).drop_index(stmt.name)
+            return StatementResult("DROP INDEX")
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt)
+        raise PlanningError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_insert(self, stmt: ast.Insert) -> StatementResult:
+        table = self.catalog.get(stmt.table)
+        ctx = ast.BindContext(Schema([]))
+        count = 0
+        for row_exprs in stmt.rows:
+            values = [e.bind(ctx)(()) for e in row_exprs]
+            if stmt.columns is not None:
+                by_name = dict(zip([c.lower() for c in stmt.columns], values))
+                ordered = []
+                for col in table.schema:
+                    if col.name not in by_name:
+                        ordered.append(None)
+                    else:
+                        ordered.append(by_name.pop(col.name))
+                if by_name:
+                    raise PlanningError(
+                        f"unknown insert columns: {sorted(by_name)}"
+                    )
+                values = ordered
+            table.insert(values)
+            count += 1
+        return StatementResult(f"INSERT {count}")

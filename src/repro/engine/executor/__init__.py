@@ -1,0 +1,34 @@
+"""Physical operators (Volcano iterators)."""
+
+from repro.engine.executor.aggregate import HashAggregate
+from repro.engine.executor.base import PhysicalOperator
+from repro.engine.executor.relational import (
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Project,
+    Sort,
+)
+from repro.engine.executor.scans import DualScan, SeqScan, SubqueryScan, ValuesScan
+from repro.engine.executor.sgb import SGB1DAggregate, SGBAggregate, SGBConfig
+
+__all__ = [
+    "PhysicalOperator",
+    "SeqScan",
+    "SubqueryScan",
+    "DualScan",
+    "ValuesScan",
+    "Filter",
+    "Project",
+    "NestedLoopJoin",
+    "HashJoin",
+    "Sort",
+    "Limit",
+    "Distinct",
+    "HashAggregate",
+    "SGBAggregate",
+    "SGB1DAggregate",
+    "SGBConfig",
+]

@@ -1,0 +1,40 @@
+"""Volcano-style physical operators.
+
+Every operator exposes an output :class:`~repro.engine.schema.Schema` and an
+iterator of row tuples.  Plans are trees of operators; ``explain()`` renders
+the tree for tests and debugging (the closest analogue of PostgreSQL's
+EXPLAIN for this engine).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.engine.schema import Schema
+
+
+class PhysicalOperator:
+    """Base class; subclasses set ``self.schema`` and implement ``__iter__``."""
+
+    schema: Schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def rows(self) -> List[tuple]:
+        """Materialize the full output."""
+        return list(self)
+
+    # -- explain -----------------------------------------------------------
+    def describe(self) -> str:
+        """One-line operator description (overridden by subclasses)."""
+        return type(self).__name__
+
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + "-> " + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)

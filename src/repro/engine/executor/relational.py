@@ -1,0 +1,465 @@
+"""Row-at-a-time relational operators: filter, project, joins, sort, limit."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.executor.base import PhysicalOperator
+from repro.engine.schema import Column, Schema
+from repro.engine.types import ANY
+from repro.sql.ast_nodes import BindContext, Expr
+
+
+class Filter(PhysicalOperator):
+    """Keeps rows for which the predicate evaluates to exactly True."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expr,
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.child = child
+        self.schema = child.schema
+        self._predicate_expr = predicate
+        self._fn = predicate.bind(ctx_factory(child.schema))
+
+    def __iter__(self) -> Iterator[tuple]:
+        fn = self._fn
+        for row in self.child:
+            if fn(row) is True:
+                yield row
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter ({self._predicate_expr!r})"
+
+
+class Project(PhysicalOperator):
+    """Computes the select list."""
+
+    def __init__(self, child: PhysicalOperator, exprs: Sequence[Expr],
+                 names: Sequence[str],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.child = child
+        ctx = ctx_factory(child.schema)
+        self._fns = [e.bind(ctx) for e in exprs]
+        self.schema = Schema([Column(n, ANY) for n in names])
+
+    def __iter__(self) -> Iterator[tuple]:
+        fns = self._fns
+        for row in self.child:
+            yield tuple(f(row) for f in fns)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(self.schema.names())}]"
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Inner join with an arbitrary (or absent -> cross) condition.
+
+    The right side is materialized once.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 condition: Optional[Expr],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        self._condition_expr = condition
+        self._fn = (
+            condition.bind(ctx_factory(self.schema)) if condition is not None
+            else None
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = self.right.rows()
+        fn = self._fn
+        for lrow in self.left:
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if fn is None or fn(combined) is True:
+                    yield combined
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        cond = f" on {self._condition_expr!r}" if self._condition_expr else ""
+        return f"NestedLoopJoin{cond}"
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: builds a hash table on the right side, probes with the left.
+
+    ``residual`` holds non-equi conjuncts evaluated on the combined row.
+    NULL keys never match (SQL semantics).
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_keys: Sequence[Expr], right_keys: Sequence[Expr],
+                 residual: Optional[Expr],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("hash join needs matching non-empty key lists")
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        left_ctx = ctx_factory(left.schema)
+        right_ctx = ctx_factory(right.schema)
+        self._lkey_fns = [e.bind(left_ctx) for e in left_keys]
+        self._rkey_fns = [e.bind(right_ctx) for e in right_keys]
+        self._residual_expr = residual
+        self._residual = (
+            residual.bind(ctx_factory(self.schema)) if residual is not None
+            else None
+        )
+        self._n_keys = len(left_keys)
+
+    def __iter__(self) -> Iterator[tuple]:
+        table: dict = {}
+        rkey_fns = self._rkey_fns
+        for rrow in self.right:
+            key = tuple(f(rrow) for f in rkey_fns)
+            if any(k is None for k in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        lkey_fns = self._lkey_fns
+        residual = self._residual
+        for lrow in self.left:
+            key = tuple(f(lrow) for f in lkey_fns)
+            if any(k is None for k in key):
+                continue
+            for rrow in table.get(key, ()):
+                combined = lrow + rrow
+                if residual is None or residual(combined) is True:
+                    yield combined
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return f"HashJoin ({self._n_keys} key(s))"
+
+
+class NestedLoopLeftJoin(PhysicalOperator):
+    """LEFT OUTER join with an arbitrary ON condition.
+
+    Unmatched left rows are emitted once, right columns null-extended.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 condition: Optional[Expr],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        self._condition_expr = condition
+        self._fn = (
+            condition.bind(ctx_factory(self.schema))
+            if condition is not None else None
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = self.right.rows()
+        nulls = (None,) * len(self.right.schema)
+        fn = self._fn
+        for lrow in self.left:
+            matched = False
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if fn is None or fn(combined) is True:
+                    matched = True
+                    yield combined
+            if not matched:
+                yield lrow + nulls
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "NestedLoopLeftJoin"
+
+
+class HashLeftJoin(PhysicalOperator):
+    """LEFT OUTER equi-join; residual conjuncts are part of the match
+    condition (a left row with key matches that all fail the residual is
+    still null-extended)."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_keys: Sequence[Expr], right_keys: Sequence[Expr],
+                 residual: Optional[Expr],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise ValueError("hash join needs matching non-empty key lists")
+        self.left = left
+        self.right = right
+        self.schema = left.schema.concat(right.schema)
+        left_ctx = ctx_factory(left.schema)
+        right_ctx = ctx_factory(right.schema)
+        self._lkey_fns = [e.bind(left_ctx) for e in left_keys]
+        self._rkey_fns = [e.bind(right_ctx) for e in right_keys]
+        self._residual = (
+            residual.bind(ctx_factory(self.schema))
+            if residual is not None else None
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        table: dict = {}
+        for rrow in self.right:
+            key = tuple(f(rrow) for f in self._rkey_fns)
+            if any(k is None for k in key):
+                continue
+            table.setdefault(key, []).append(rrow)
+        nulls = (None,) * len(self.right.schema)
+        residual = self._residual
+        for lrow in self.left:
+            key = tuple(f(lrow) for f in self._lkey_fns)
+            matched = False
+            if not any(k is None for k in key):
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if residual is None or residual(combined) is True:
+                        matched = True
+                        yield combined
+            if not matched:
+                yield lrow + nulls
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return "HashLeftJoin"
+
+
+class SimilarityJoin(PhysicalOperator):
+    """ε-distance join: pairs of rows whose 2-D coordinates are within ε.
+
+    The similarity-join operator of the SimDB line (paper §2): an R-tree is
+    built over the right side's points, each left row probes it with its
+    ε-box, and candidates are verified with the actual metric.  Rows with
+    NULL coordinates never match.  ``residual`` carries any extra join
+    conjuncts.
+    """
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 left_coords: Sequence[Expr], right_coords: Sequence[Expr],
+                 eps: float, metric: str,
+                 residual: Optional[Expr],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        if len(left_coords) != 2 or len(right_coords) != 2:
+            raise ValueError("similarity join needs 2-D coordinates")
+        self.left = left
+        self.right = right
+        self.eps = float(eps)
+        self.metric_name = metric
+        self.schema = left.schema.concat(right.schema)
+        left_ctx = ctx_factory(left.schema)
+        right_ctx = ctx_factory(right.schema)
+        self._lcoord_fns = [e.bind(left_ctx) for e in left_coords]
+        self._rcoord_fns = [e.bind(right_ctx) for e in right_coords]
+        self._residual = (
+            residual.bind(ctx_factory(self.schema))
+            if residual is not None else None
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        from repro.core.distance import resolve_metric
+        from repro.geometry.rectangle import Rect
+        from repro.index.rtree import RTree
+
+        metric = resolve_metric(self.metric_name)
+        eps = self.eps
+        index = RTree(max_entries=16)
+        right_rows: List[tuple] = []
+        for rrow in self.right:
+            x = self._rcoord_fns[0](rrow)
+            y = self._rcoord_fns[1](rrow)
+            if x is None or y is None:
+                continue
+            index.insert(Rect.from_point((float(x), float(y))),
+                         len(right_rows))
+            right_rows.append(rrow)
+        residual = self._residual
+        exact_box = metric.name == "linf"
+        for lrow in self.left:
+            x = self._lcoord_fns[0](lrow)
+            y = self._lcoord_fns[1](lrow)
+            if x is None or y is None:
+                continue
+            p = (float(x), float(y))
+            window = Rect.eps_box(p, eps)
+            for rect, rid in index.search_with_rects(window):
+                if not exact_box and not metric.within(p, rect.lo, eps):
+                    continue
+                combined = lrow + right_rows[rid]
+                if residual is None or residual(combined) is True:
+                    yield combined
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return (
+            f"SimilarityJoin ({self.metric_name} within {self.eps})"
+        )
+
+
+class Concat(PhysicalOperator):
+    """UNION ALL: children's outputs back to back (first child's schema)."""
+
+    def __init__(self, inputs: Sequence[PhysicalOperator]):
+        if not inputs:
+            raise ValueError("Concat needs at least one input")
+        arities = {len(p.schema) for p in inputs}
+        if len(arities) != 1:
+            raise ValueError(
+                f"UNION inputs have differing column counts: {arities}"
+            )
+        self.inputs = list(inputs)
+        self.schema = inputs[0].schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        for child in self.inputs:
+            yield from child
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return tuple(self.inputs)
+
+    def describe(self) -> str:
+        return f"Concat ({len(self.inputs)} inputs)"
+
+
+class Sort(PhysicalOperator):
+    """Full sort; NULLs sort first ascending / last descending."""
+
+    def __init__(self, child: PhysicalOperator,
+                 key_exprs: Sequence[Expr], ascending: Sequence[bool],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.child = child
+        self.schema = child.schema
+        ctx = ctx_factory(child.schema)
+        self._key_fns = [e.bind(ctx) for e in key_exprs]
+        self._ascending = list(ascending)
+
+    def __iter__(self) -> Iterator[tuple]:
+        rows = self.child.rows()
+        # Stable multi-key sort: apply keys right-to-left.
+        for fn, asc in reversed(list(zip(self._key_fns, self._ascending))):
+            rows.sort(
+                key=lambda row, f=fn: _null_key(f(row)),
+                reverse=not asc,
+            )
+        return iter(rows)
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Sort ({len(self._key_fns)} key(s))"
+
+
+def _null_key(value: Any) -> tuple:
+    # (is_not_null, value): None compares before any value ascending.
+    return (value is not None, value)
+
+
+class TopN(PhysicalOperator):
+    """Fused ORDER BY + LIMIT: a bounded heap instead of a full sort.
+
+    Keeps at most ``n`` rows in memory (``heapq.nsmallest`` over the input
+    stream) — the classic top-N optimization.  Key semantics match
+    :class:`Sort` exactly, including NULL placement, via a comparator.
+    """
+
+    def __init__(self, child: PhysicalOperator,
+                 key_exprs: Sequence[Expr], ascending: Sequence[bool],
+                 limit: int,
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.child = child
+        self.schema = child.schema
+        self.limit = limit
+        ctx = ctx_factory(child.schema)
+        self._key_fns = [e.bind(ctx) for e in key_exprs]
+        self._ascending = list(ascending)
+
+    def __iter__(self) -> Iterator[tuple]:
+        import functools
+        import heapq
+
+        key_fns = self._key_fns
+        ascending = self._ascending
+
+        def compare(a: tuple, b: tuple) -> int:
+            for fn, asc in zip(key_fns, ascending):
+                ka = _null_key(fn(a))
+                kb = _null_key(fn(b))
+                if ka == kb:
+                    continue
+                less = ka < kb
+                if asc:
+                    return -1 if less else 1
+                return 1 if less else -1
+            return 0
+
+        yield from heapq.nsmallest(
+            self.limit, self.child, key=functools.cmp_to_key(compare)
+        )
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"TopN (limit {self.limit}, {len(self._key_fns)} key(s))"
+
+
+class Limit(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, limit: int):
+        self.child = child
+        self.schema = child.schema
+        self.limit = limit
+
+    def __iter__(self) -> Iterator[tuple]:
+        n = 0
+        for row in self.child:
+            if n >= self.limit:
+                return
+            yield row
+            n += 1
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit {self.limit}"
+
+
+class Distinct(PhysicalOperator):
+    """Order-preserving duplicate elimination."""
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[tuple]:
+        seen: set = set()
+        for row in self.child:
+            key = tuple(_hashable(v) for v in row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value

@@ -1,0 +1,308 @@
+"""The Similarity Group-By executor node (paper §8.2).
+
+Grouping attributes must be numeric; DATE attributes are supported by
+mapping them to their ordinal day number, so ``WITHIN 7`` over a date
+column means "within a week".
+
+This is the engine-integrated counterpart of the modified hash-aggregate
+node the paper adds to PostgreSQL: it consumes its child like a normal
+aggregate, but groups rows with :class:`~repro.core.sgb_all.SGBAllOperator`
+or :class:`~repro.core.sgb_any.SGBAnyOperator` over the (multi-dimensional)
+grouping attributes instead of an equality hash table.
+
+Like PostgreSQL's version, the ELIMINATE / FORM-NEW-GROUP semantics can only
+produce final groups after the whole input is seen, so rows are spooled in a
+tuple store (a Python list here) and aggregated once the operator finalizes.
+Output rows contain the aggregate results only — a raw grouping attribute is
+not constant within a similarity group, so referencing one outside an
+aggregate is a planning error (caught upstream).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import datetime as _dt
+
+from repro.core.around import sgb_around_nd
+from repro.core.sgb_1d import sgb_around, sgb_segment
+from repro.core.sgb_all import SGBAllOperator
+from repro.core.sgb_any import SGBAnyOperator
+from repro.engine.executor.aggregate import AggSpec, build_agg_specs
+from repro.engine.executor.base import PhysicalOperator
+from repro.engine.schema import Column, Schema
+from repro.engine.types import ANY
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import AggCall, BindContext, Expr
+
+
+def _coordinate(value):
+    """Numeric coordinate for a grouping-attribute value.
+
+    Dates map to ordinal days (so ε is measured in days); bools are
+    rejected along with every other non-numeric type.
+    """
+    if isinstance(value, _dt.date):
+        return float(value.toordinal())
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"not a numeric grouping attribute: {value!r}")
+    return float(value)
+
+
+class SGBConfig:
+    """Execution knobs for the SGB node (set on the Database)."""
+
+    def __init__(self, all_strategy: str = "index", any_strategy: str = "index",
+                 tiebreak: str = "random", seed: int = 0):
+        self.all_strategy = all_strategy
+        self.any_strategy = any_strategy
+        self.tiebreak = tiebreak
+        self.seed = seed
+
+
+class SGBAggregate(PhysicalOperator):
+    """Similarity aggregation: mode 'all' (with an overlap clause) or 'any'."""
+
+    def __init__(self, child: PhysicalOperator, key_exprs: Sequence[Expr],
+                 mode: str, metric: str, eps: float, on_overlap: str,
+                 agg_calls: Sequence[AggCall],
+                 ctx_factory: Callable[[Schema], BindContext],
+                 config: SGBConfig,
+                 partition_exprs: Sequence[Expr] = ()):
+        if mode not in ("all", "any"):
+            raise ExecutionError(f"unknown SGB mode {mode!r}")
+        self.child = child
+        self.mode = mode
+        self.metric = metric
+        self.eps = eps
+        self.on_overlap = on_overlap
+        self.config = config
+        ctx = ctx_factory(child.schema)
+        self._key_fns = [e.bind(ctx) for e in key_exprs]
+        self._partition_fns = [e.bind(ctx) for e in partition_exprs]
+        self._specs: List[AggSpec] = build_agg_specs(agg_calls, ctx)
+        columns = [Column(f"__part{i}", ANY)
+                   for i in range(len(partition_exprs))]
+        columns += [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
+        self.schema = Schema(columns)
+
+    def _make_operator(self):
+        if self.mode == "all":
+            return SGBAllOperator(
+                eps=self.eps,
+                metric=self.metric,
+                on_overlap=self.on_overlap,
+                strategy=self.config.all_strategy,
+                tiebreak=self.config.tiebreak,
+                seed=self.config.seed,
+            )
+        return SGBAnyOperator(
+            eps=self.eps,
+            metric=self.metric,
+            strategy=self.config.any_strategy,
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        # Partition rows by the (extension) equality keys; the similarity
+        # operator runs independently within each partition.  Without a
+        # PARTITION BY clause there is exactly one partition.
+        partitions: dict = {}
+        partition_order: List[tuple] = []
+        key_fns = self._key_fns
+        partition_fns = self._partition_fns
+        for row in self.child:
+            coords = tuple(f(row) for f in key_fns)
+            if any(c is None for c in coords):
+                # NULL grouping attributes cannot satisfy a distance
+                # predicate; such rows are excluded from similarity grouping.
+                continue
+            try:
+                point = tuple(_coordinate(c) for c in coords)
+            except (TypeError, ValueError):
+                raise ExecutionError(
+                    f"similarity grouping attributes must be numeric, "
+                    f"got {coords!r}"
+                ) from None
+            pkey = tuple(f(row) for f in partition_fns)
+            bucket = partitions.get(pkey)
+            if bucket is None:
+                bucket = ([], [])  # (points, spooled rows — §8.2 store)
+                partitions[pkey] = bucket
+                partition_order.append(pkey)
+            bucket[0].append(point)
+            bucket[1].append(row)
+
+        specs = self._specs
+        for pkey in partition_order:
+            points, spool = partitions[pkey]
+            operator = self._make_operator()
+            operator.add_many(points)
+            result = operator.finalize()
+            group_accs: dict = {}
+            order: List[int] = []
+            for row, label in zip(spool, result.labels):
+                if label < 0:  # eliminated by the ON-OVERLAP clause
+                    continue
+                accs = group_accs.get(label)
+                if accs is None:
+                    accs = [s.new_accumulator() for s in specs]
+                    group_accs[label] = accs
+                    order.append(label)
+                for spec, acc in zip(specs, accs):
+                    spec.step(acc, row)
+            for label in sorted(order):
+                yield pkey + tuple(a.final() for a in group_accs[label])
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        clause = f" on-overlap={self.on_overlap}" if self.mode == "all" else ""
+        return (
+            f"SimilarityGroupBy (distance-to-{self.mode} {self.metric} "
+            f"within {self.eps}{clause})"
+        )
+
+
+class SGBAroundAggregate(PhysicalOperator):
+    """Supervised multi-dimensional grouping around fixed centres."""
+
+    def __init__(self, child: PhysicalOperator, key_exprs: Sequence[Expr],
+                 centers: Sequence[Sequence[float]], metric: str,
+                 radius, agg_calls: Sequence[AggCall],
+                 ctx_factory: Callable[[Schema], BindContext]):
+        self.child = child
+        self.centers = [tuple(c) for c in centers]
+        self.metric = metric
+        self.radius = radius
+        ctx = ctx_factory(child.schema)
+        self._key_fns = [e.bind(ctx) for e in key_exprs]
+        self._specs: List[AggSpec] = build_agg_specs(agg_calls, ctx)
+        self.schema = Schema(
+            [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        spool: List[tuple] = []
+        points: List[tuple] = []
+        key_fns = self._key_fns
+        for row in self.child:
+            coords = tuple(f(row) for f in key_fns)
+            if any(c is None for c in coords):
+                continue
+            try:
+                points.append(tuple(_coordinate(c) for c in coords))
+            except (TypeError, ValueError):
+                raise ExecutionError(
+                    f"grouping attributes must be numeric, got {coords!r}"
+                ) from None
+            spool.append(row)
+        result = sgb_around_nd(points, self.centers, eps=self.radius,
+                               metric=self.metric)
+        specs = self._specs
+        group_accs: dict = {}
+        order: List[int] = []
+        for row, label in zip(spool, result.labels):
+            if label < 0:
+                continue
+            accs = group_accs.get(label)
+            if accs is None:
+                accs = [s.new_accumulator() for s in specs]
+                group_accs[label] = accs
+                order.append(label)
+            for spec, acc in zip(specs, accs):
+                spec.step(acc, row)
+        for label in sorted(order):
+            yield tuple(a.final() for a in group_accs[label])
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        within = f" within {self.radius}" if self.radius is not None else ""
+        return (
+            f"SimilarityGroupAround ({len(self.centers)} centres, "
+            f"{self.metric}{within})"
+        )
+
+
+class SGB1DAggregate(PhysicalOperator):
+    """The one-dimensional similarity aggregation node (ICDE 2009 clauses).
+
+    ``kind='segment'`` implements MAXIMUM-ELEMENT-SEPARATION (with optional
+    MAXIMUM-GROUP-DIAMETER); ``kind='around'`` implements GROUP AROUND a
+    list of central points.  Rows whose value falls outside every group
+    (AROUND with a diameter bound) are excluded from the output, like
+    ELIMINATE in the multi-dimensional operator.
+    """
+
+    def __init__(self, child: PhysicalOperator, key_expr: Expr, kind: str,
+                 agg_calls: Sequence[AggCall],
+                 ctx_factory: Callable[[Schema], BindContext],
+                 separation: float = 0.0,
+                 diameter: float = None,
+                 centers: Sequence[float] = ()):
+        if kind not in ("segment", "around"):
+            raise ExecutionError(f"unknown 1-D SGB kind {kind!r}")
+        self.child = child
+        self.kind = kind
+        self.separation = separation
+        self.diameter = diameter
+        self.centers = list(centers)
+        ctx = ctx_factory(child.schema)
+        self._key_fn = key_expr.bind(ctx)
+        self._specs: List[AggSpec] = build_agg_specs(agg_calls, ctx)
+        self.schema = Schema(
+            [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        spool: List[tuple] = []
+        values: List[float] = []
+        key_fn = self._key_fn
+        for row in self.child:
+            value = key_fn(row)
+            if value is None:
+                continue
+            try:
+                values.append(_coordinate(value))
+            except (TypeError, ValueError):
+                raise ExecutionError(
+                    f"1-D similarity grouping attribute must be numeric, "
+                    f"got {value!r}"
+                ) from None
+            spool.append(row)
+        if self.kind == "segment":
+            result = sgb_segment(values, self.separation, self.diameter)
+        else:
+            result = sgb_around(values, self.centers, self.diameter)
+
+        specs = self._specs
+        group_accs: dict = {}
+        order: List[int] = []
+        for row, label in zip(spool, result.labels):
+            if label < 0:
+                continue
+            accs = group_accs.get(label)
+            if accs is None:
+                accs = [s.new_accumulator() for s in specs]
+                group_accs[label] = accs
+                order.append(label)
+            for spec, acc in zip(specs, accs):
+                spec.step(acc, row)
+        for label in sorted(order):
+            yield tuple(a.final() for a in group_accs[label])
+
+    def children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        if self.kind == "segment":
+            extra = f"separation={self.separation}"
+            if self.diameter is not None:
+                extra += f" diameter={self.diameter}"
+        else:
+            extra = f"around {len(self.centers)} centre(s)"
+            if self.diameter is not None:
+                extra += f" diameter={self.diameter}"
+        return f"SimilarityGroupBy1D ({extra})"

@@ -1,0 +1,242 @@
+"""CSV import/export and whole-database persistence.
+
+Lets downstream users load real datasets (e.g. the actual Brightkite or
+Gowalla dumps, if they have them) into the engine, export query results,
+and save/restore an entire database as a directory of CSV files plus a
+JSON manifest (schema + indexes) — no dependency beyond the standard
+library.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+import io
+import json
+import os
+from typing import IO, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine import types as T
+from repro.engine.database import Database, QueryResult
+from repro.engine.table import Table
+from repro.errors import InvalidParameterError
+
+
+def infer_column_types(rows: Sequence[Sequence[str]]) -> List[str]:
+    """Infer engine column types from string cells.
+
+    A column is INT if every non-empty cell parses as an integer, FLOAT if
+    every non-empty cell parses as a number, DATE if every non-empty cell is
+    ISO ``YYYY-MM-DD``, BOOL for ``true/false``, else TEXT.  All-empty
+    columns default to TEXT.
+    """
+    if not rows:
+        return []
+    n_cols = len(rows[0])
+    types = []
+    for col in range(n_cols):
+        cells = [r[col].strip() for r in rows if col < len(r)]
+        non_empty = [c for c in cells if c != ""]
+        if not non_empty:
+            types.append(T.TEXT)
+        elif all(_is_int(c) for c in non_empty):
+            types.append(T.INT)
+        elif all(_is_float(c) for c in non_empty):
+            types.append(T.FLOAT)
+        elif all(_is_date(c) for c in non_empty):
+            types.append(T.DATE)
+        elif all(c.lower() in ("true", "false") for c in non_empty):
+            types.append(T.BOOL)
+        else:
+            types.append(T.TEXT)
+    return types
+
+
+def _is_int(s: str) -> bool:
+    try:
+        int(s)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_float(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_date(s: str) -> bool:
+    try:
+        _dt.date.fromisoformat(s)
+        return True
+    except ValueError:
+        return False
+
+
+def _convert(cell: str, type_name: str):
+    cell = cell.strip()
+    if cell == "":
+        return None
+    if type_name == T.INT:
+        return int(cell)
+    if type_name == T.FLOAT:
+        return float(cell)
+    if type_name == T.DATE:
+        return _dt.date.fromisoformat(cell)
+    if type_name == T.BOOL:
+        return cell.lower() == "true"
+    return cell
+
+
+def load_csv(
+    db: Database,
+    table: str,
+    source: Union[str, IO[str]],
+    columns: Optional[Sequence[Tuple[str, str]]] = None,
+    header: bool = True,
+    delimiter: str = ",",
+) -> Table:
+    """Create ``table`` in ``db`` from a CSV file path or text stream.
+
+    With ``columns`` the schema is explicit; otherwise column names come
+    from the header row (or ``col1…colN``) and types are inferred from the
+    data.  Empty cells load as NULL.
+    """
+    close = False
+    if isinstance(source, str):
+        stream: IO[str] = open(source, newline="")
+        close = True
+    else:
+        stream = source
+    try:
+        reader = csv.reader(stream, delimiter=delimiter)
+        rows = list(reader)
+    finally:
+        if close:
+            stream.close()
+    if not rows:
+        raise InvalidParameterError("CSV input is empty")
+
+    if header:
+        names = [c.strip().lower() or f"col{i + 1}"
+                 for i, c in enumerate(rows[0])]
+        data = rows[1:]
+    else:
+        names = [f"col{i + 1}" for i in range(len(rows[0]))]
+        data = rows
+
+    for raw in data:
+        if len(raw) != len(names):
+            raise InvalidParameterError(
+                f"CSV row has {len(raw)} cells, expected {len(names)}: "
+                f"{raw!r}"
+            )
+
+    if columns is not None:
+        schema = [(n, T.normalize_type(t)) for n, t in columns]
+        if len(schema) != len(names):
+            raise InvalidParameterError(
+                f"declared {len(schema)} columns, CSV has {len(names)}"
+            )
+    else:
+        inferred = infer_column_types(data)
+        if not inferred:  # header-only file
+            inferred = [T.TEXT] * len(names)
+        schema = list(zip(names, inferred))
+
+    tbl = db.create_table(table, schema)
+    type_names = [t for _, t in schema]
+    for raw in data:
+        tbl.insert([_convert(c, t) for c, t in zip(raw, type_names)])
+    return tbl
+
+
+def dump_csv(
+    result: QueryResult,
+    target: Optional[Union[str, IO[str]]] = None,
+    delimiter: str = ",",
+) -> Optional[str]:
+    """Write a query result as CSV.
+
+    ``target`` may be a path or a text stream; with no target the CSV text
+    is returned.  NULLs serialize as empty cells; dates as ISO strings.
+    """
+    buffer: IO[str]
+    if target is None:
+        buffer = io.StringIO()
+    elif isinstance(target, str):
+        buffer = open(target, "w", newline="")
+    else:
+        buffer = target
+    try:
+        writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+        writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow(["" if v is None else v for v in row])
+        if target is None:
+            return buffer.getvalue()
+        return None
+    finally:
+        if isinstance(target, str):
+            buffer.close()
+
+
+# ----------------------------------------------------------------------
+# whole-database persistence
+# ----------------------------------------------------------------------
+_MANIFEST = "manifest.json"
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Persist every table to ``directory`` (one CSV per table + manifest).
+
+    The manifest records column types and secondary indexes so
+    :func:`load_database` restores the database exactly (indexes are
+    rebuilt from the data).
+
+    Known lossiness: CSV cannot distinguish NULL from the empty string, so
+    an empty TEXT value restores as NULL.
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest = {"tables": []}
+    for name in db.catalog.table_names():
+        table = db.table(name)
+        manifest["tables"].append({
+            "name": table.name,
+            "columns": [[c.name, c.type] for c in table.schema],
+            "indexes": [
+                {"name": idx.name, "column": idx.column}
+                for idx in table.indexes.values()
+            ],
+        })
+        path = os.path.join(directory, f"{table.name}.csv")
+        result = QueryResult(
+            table.schema.names(), list(table.rows)
+        )
+        dump_csv(result, path)
+    with open(os.path.join(directory, _MANIFEST), "w") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def load_database(directory: str, **db_kwargs) -> Database:
+    """Restore a database saved with :func:`save_database`."""
+    manifest_path = os.path.join(directory, _MANIFEST)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except FileNotFoundError:
+        raise InvalidParameterError(
+            f"{directory!r} has no {_MANIFEST}; not a saved database"
+        ) from None
+    db = Database(**db_kwargs)
+    for spec in manifest["tables"]:
+        path = os.path.join(directory, f"{spec['name']}.csv")
+        with open(path, newline="") as fh:
+            load_csv(db, spec["name"], fh, columns=spec["columns"])
+        table = db.table(spec["name"])
+        for idx in spec.get("indexes", []):
+            table.create_index(idx["name"], idx["column"])
+    return db

@@ -1,0 +1,102 @@
+"""Schemas: ordered, possibly-qualified column descriptors.
+
+A :class:`Schema` resolves column references (optionally qualified with a
+table alias) to row indices at plan time, so the executor never does string
+lookups per row.  Joins concatenate schemas; subquery aliases re-qualify
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine import types as T
+from repro.errors import CatalogError
+
+
+class Column:
+    """A named, typed column, optionally qualified by a table alias."""
+
+    __slots__ = ("name", "type", "qualifier")
+
+    def __init__(self, name: str, type_: str = T.ANY, qualifier: Optional[str] = None):
+        self.name = name.lower()
+        self.type = type_
+        self.qualifier = qualifier.lower() if qualifier else None
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Column":
+        return Column(self.name, self.type, qualifier)
+
+    def __repr__(self) -> str:
+        q = f"{self.qualifier}." if self.qualifier else ""
+        return f"Column({q}{self.name}: {self.type})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and self.name == other.name
+            and self.type == other.type
+            and self.qualifier == other.qualifier
+        )
+
+
+class Schema:
+    """An ordered list of columns with reference resolution."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Sequence[Column]):
+        self.columns: List[Column] = list(columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def resolve(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Index of the column matching ``[qualifier.]name``.
+
+        Raises :class:`CatalogError` for unknown or ambiguous references.
+        """
+        name = name.lower()
+        qualifier = qualifier.lower() if qualifier else None
+        matches = [
+            i
+            for i, c in enumerate(self.columns)
+            if c.name == name and (qualifier is None or c.qualifier == qualifier)
+        ]
+        if not matches:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise CatalogError(
+                f"column {ref!r} not found; available: {self._describe()}"
+            )
+        if len(matches) > 1:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise CatalogError(f"ambiguous column reference {ref!r}")
+        return matches[0]
+
+    def maybe_resolve(self, name: str, qualifier: Optional[str] = None) -> Optional[int]:
+        try:
+            return self.resolve(name, qualifier)
+        except CatalogError:
+            return None
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)
+
+    def requalified(self, alias: str) -> "Schema":
+        """All columns re-qualified with ``alias`` (subquery / table alias)."""
+        return Schema([c.with_qualifier(alias) for c in self.columns])
+
+    def _describe(self) -> str:
+        return ", ".join(
+            f"{c.qualifier}.{c.name}" if c.qualifier else c.name
+            for c in self.columns
+        )
+
+    def __repr__(self) -> str:
+        return f"Schema([{self._describe()}])"

@@ -1,0 +1,185 @@
+"""An interactive SQL shell for the engine (`python -m repro.engine.shell`).
+
+A small psql-like REPL so the SGB dialect can be explored interactively:
+
+* statements end with ``;`` and may span lines;
+* meta-commands: ``\\d`` (list tables), ``\\d name`` (describe one),
+  ``\\timing`` (toggle), ``\\e <sql>`` (EXPLAIN), ``\\load table path.csv``,
+  ``\\tpch [sf]`` (load the TPC-H-like dataset), ``\\q`` (quit).
+
+The core is :class:`Shell`, which processes one line at a time and returns
+printable output — that keeps the REPL fully scriptable and testable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional
+
+from repro.engine.database import Database, QueryResult, StatementResult
+from repro.errors import ReproError
+
+PROMPT = "sgb> "
+CONTINUATION = "...> "
+
+
+def format_table(result: QueryResult, max_rows: int = 50) -> str:
+    """Render a query result as an aligned text table."""
+    columns = result.columns
+    rows = result.rows[:max_rows]
+    rendered = [[_render(v) for v in row] for row in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rendered))
+        if rendered else len(columns[i])
+        for i in range(len(columns))
+    ]
+    out = [
+        " | ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    footer = f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})"
+    if len(result.rows) > max_rows:
+        footer += f", showing first {max_rows}"
+    out.append(footer)
+    return "\n".join(out)
+
+
+def _render(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, list):
+        return "{" + ",".join(_render(v) for v in value) + "}"
+    return str(value)
+
+
+class Shell:
+    """Line-oriented shell state machine."""
+
+    def __init__(self, db: Optional[Database] = None):
+        self.db = db or Database()
+        self.timing = False
+        self._buffer: List[str] = []
+        self.done = False
+
+    @property
+    def prompt(self) -> str:
+        return CONTINUATION if self._buffer else PROMPT
+
+    def feed(self, line: str) -> str:
+        """Process one input line; returns text to display (may be '')."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self._meta(stripped)
+        if not stripped and not self._buffer:
+            return ""
+        self._buffer.append(line)
+        if not stripped.endswith(";"):
+            return ""
+        sql = "\n".join(self._buffer)
+        self._buffer = []
+        return self._run_sql(sql)
+
+    # ------------------------------------------------------------------
+    def _run_sql(self, sql: str) -> str:
+        start = time.perf_counter()
+        try:
+            result = self.db.execute(sql)
+        except ReproError as exc:
+            return f"ERROR: {exc}"
+        elapsed = time.perf_counter() - start
+        if isinstance(result, QueryResult):
+            out = format_table(result)
+        elif isinstance(result, StatementResult):
+            out = result.status
+        else:  # pragma: no cover - defensive
+            out = str(result)
+        if self.timing:
+            out += f"\nTime: {elapsed * 1000:.1f} ms"
+        return out
+
+    def _meta(self, command: str) -> str:
+        parts = command.split()
+        head = parts[0]
+        if head in ("\\q", "\\quit"):
+            self.done = True
+            return ""
+        if head == "\\timing":
+            self.timing = not self.timing
+            return f"Timing is {'on' if self.timing else 'off'}."
+        if head == "\\d":
+            if len(parts) == 1:
+                names = self.db.catalog.table_names()
+                if not names:
+                    return "No tables."
+                return "\n".join(
+                    f"{name} ({len(self.db.table(name))} rows)"
+                    for name in names
+                )
+            try:
+                table = self.db.table(parts[1])
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+            return "\n".join(
+                f"{col.name}  {col.type}" for col in table.schema
+            )
+        if head == "\\e":
+            sql = command[len("\\e"):].strip()
+            try:
+                return self.db.explain(sql)
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+        if head == "\\load":
+            if len(parts) != 3:
+                return "usage: \\load <table> <path.csv>"
+            from repro.engine.io import load_csv
+
+            try:
+                table = load_csv(self.db, parts[1], parts[2])
+            except (ReproError, OSError) as exc:
+                return f"ERROR: {exc}"
+            return f"Loaded {len(table)} rows into {table.name}."
+        if head == "\\tpch":
+            from repro.workloads.tpch import TPCHGenerator
+
+            sf = float(parts[1]) if len(parts) > 1 else 1.0
+            try:
+                TPCHGenerator(sf).populate(self.db)
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+            return f"TPC-H-like data loaded at SF={sf:g}."
+        if head == "\\help":
+            return (
+                "\\d [table]   list tables / describe one\n"
+                "\\e <sql>     explain a SELECT\n"
+                "\\timing      toggle per-statement timing\n"
+                "\\load t f    load CSV file f into new table t\n"
+                "\\tpch [sf]   load the TPC-H-like dataset\n"
+                "\\q           quit"
+            )
+        return f"unknown meta-command {head!r} (try \\help)"
+
+
+def main(argv=None) -> int:  # pragma: no cover - interactive loop
+    shell = Shell()
+    print("repro SQL shell — similarity GROUP BY dialect (\\help for help)")
+    try:
+        while not shell.done:
+            try:
+                line = input(shell.prompt)
+            except EOFError:
+                break
+            output = shell.feed(line)
+            if output:
+                print(output)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Heap tables: an in-memory row store with schema validation and
+secondary B+tree indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine import types as T
+from repro.engine.schema import Column, Schema
+from repro.errors import CatalogError, InvalidParameterError
+from repro.index.btree import BPlusTree
+
+
+class TableIndex:
+    """A secondary index: B+tree from column value to row position.
+
+    NULLs are not indexed; the planner only routes predicates to an index
+    when NULL rows could not match anyway.
+    """
+
+    def __init__(self, name: str, table: "Table", column: str):
+        self.name = name.lower()
+        self.table = table
+        self.column = column.lower()
+        self.column_index = table.schema.resolve(self.column)
+        self.tree = BPlusTree()
+        for row_id, row in enumerate(table.rows):
+            self.note_insert(row, row_id)
+
+    def note_insert(self, row: Tuple[Any, ...], row_id: int) -> None:
+        key = row[self.column_index]
+        if key is not None:
+            self.tree.insert(key, row_id)
+
+    def row_ids(self, low: Any = None, high: Any = None,
+                include_low: bool = True, include_high: bool = True):
+        return self.tree.range(low, high, include_low, include_high)
+
+    def __repr__(self) -> str:
+        return f"TableIndex({self.name!r} on {self.table.name}.{self.column})"
+
+
+class Table:
+    """A named, schema-validated collection of rows.
+
+    Rows are plain tuples in column order.  Inserts coerce values to the
+    declared column types (so ``"1995-01-01"`` lands as a ``date`` in a DATE
+    column) and reject rows of the wrong arity.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Tuple[str, str]]):
+        if not columns:
+            raise InvalidParameterError(f"table {name!r} needs at least one column")
+        seen = set()
+        cols: List[Column] = []
+        for col_name, col_type in columns:
+            lowered = col_name.lower()
+            if lowered in seen:
+                raise InvalidParameterError(
+                    f"duplicate column {col_name!r} in table {name!r}"
+                )
+            seen.add(lowered)
+            cols.append(Column(lowered, T.normalize_type(col_type), name.lower()))
+        self.name = name.lower()
+        self.schema = Schema(cols)
+        self.rows: List[Tuple[Any, ...]] = []
+        self.indexes: Dict[str, TableIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.schema):
+            raise InvalidParameterError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(row)}"
+            )
+        coerced = tuple(
+            T.coerce(value, col.type) for value, col in zip(row, self.schema)
+        )
+        self.rows.append(coerced)
+        if self.indexes:
+            row_id = len(self.rows) - 1
+            for index in self.indexes.values():
+                index.note_insert(coerced, row_id)
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, column: str) -> TableIndex:
+        key = name.lower()
+        if key in self.indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        index = TableIndex(key, self, column)
+        self.indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        try:
+            del self.indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist") from None
+
+    def index_on(self, column: str) -> Optional[TableIndex]:
+        """Any index covering ``column`` (first created wins)."""
+        column = column.lower()
+        for index in self.indexes.values():
+            if index.column == column:
+                return index
+        return None
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        self.rows.clear()
+        # rebuild (now empty) indexes rather than leaving stale row ids
+        for name, index in list(self.indexes.items()):
+            self.indexes[name] = TableIndex(name, self, index.column)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows)"

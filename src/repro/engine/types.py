@@ -1,0 +1,171 @@
+"""Value types for the relational engine.
+
+The engine is dynamically typed at execution time (rows are plain tuples of
+Python values) but tables declare column types for validation, coercion of
+inserted literals, and nicer error messages.  ``DATE`` values are
+``datetime.date``; the SQL front end also understands ``INTERVAL`` literals
+for date arithmetic (TPC-H queries need ``date '…' + interval '10' month``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Optional
+
+from repro.errors import InvalidParameterError
+
+INT = "int"
+FLOAT = "float"
+TEXT = "text"
+BOOL = "bool"
+DATE = "date"
+ANY = "any"
+
+_TYPE_NAMES = {INT, FLOAT, TEXT, BOOL, DATE, ANY}
+
+#: SQL spelling -> engine type (CREATE TABLE uses these).
+SQL_TYPE_ALIASES = {
+    "int": INT,
+    "integer": INT,
+    "bigint": INT,
+    "smallint": INT,
+    "float": FLOAT,
+    "double": FLOAT,
+    "real": FLOAT,
+    "decimal": FLOAT,
+    "numeric": FLOAT,
+    "text": TEXT,
+    "varchar": TEXT,
+    "char": TEXT,
+    "string": TEXT,
+    "bool": BOOL,
+    "boolean": BOOL,
+    "date": DATE,
+}
+
+
+def normalize_type(name: str) -> str:
+    try:
+        return SQL_TYPE_ALIASES[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(f"unknown column type {name!r}") from None
+
+
+def coerce(value: Any, type_name: str) -> Any:
+    """Coerce ``value`` into ``type_name`` (NULL passes through).
+
+    Raises :class:`InvalidParameterError` when the value cannot represent
+    the declared type — inserts fail loudly rather than storing garbage.
+    """
+    if value is None or type_name == ANY:
+        return value
+    try:
+        if type_name == INT:
+            if isinstance(value, (bool, str)):
+                raise ValueError(f"{type(value).__name__} is not an int")
+            if isinstance(value, float) and not value.is_integer():
+                raise ValueError(f"{value} has a fractional part")
+            return int(value)
+        if type_name == FLOAT:
+            if isinstance(value, (bool, str)):
+                raise ValueError(f"{type(value).__name__} is not a float")
+            return float(value)
+        if type_name == TEXT:
+            if not isinstance(value, str):
+                raise ValueError(f"expected str, got {type(value).__name__}")
+            return value
+        if type_name == BOOL:
+            if not isinstance(value, bool):
+                raise ValueError(f"expected bool, got {type(value).__name__}")
+            return value
+        if type_name == DATE:
+            return parse_date(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(
+            f"cannot coerce {value!r} to {type_name}: {exc}"
+        ) from None
+    raise InvalidParameterError(f"unknown column type {type_name!r}")
+
+
+def parse_date(value: Any) -> _dt.date:
+    if isinstance(value, _dt.datetime):
+        return value.date()
+    if isinstance(value, _dt.date):
+        return value
+    if isinstance(value, str):
+        return _dt.date.fromisoformat(value)
+    raise ValueError(f"not a date: {value!r}")
+
+
+class Interval:
+    """A calendar interval (months + days), for date arithmetic.
+
+    Month arithmetic clamps the day-of-month the way PostgreSQL does
+    (Jan 31 + 1 month = Feb 28/29).
+    """
+
+    __slots__ = ("months", "days")
+
+    def __init__(self, months: int = 0, days: int = 0):
+        self.months = int(months)
+        self.days = int(days)
+
+    @classmethod
+    def of(cls, amount: int, unit: str) -> "Interval":
+        u = unit.lower().rstrip("s")
+        if u == "year":
+            return cls(months=12 * amount)
+        if u == "month":
+            return cls(months=amount)
+        if u == "day":
+            return cls(days=amount)
+        if u == "week":
+            return cls(days=7 * amount)
+        raise InvalidParameterError(f"unsupported interval unit {unit!r}")
+
+    def add_to(self, date: _dt.date) -> _dt.date:
+        if self.months:
+            total = date.year * 12 + (date.month - 1) + self.months
+            year, month = divmod(total, 12)
+            month += 1
+            day = min(date.day, _days_in_month(year, month))
+            date = _dt.date(year, month, day)
+        if self.days:
+            date = date + _dt.timedelta(days=self.days)
+        return date
+
+    def negated(self) -> "Interval":
+        return Interval(-self.months, -self.days)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.months == other.months
+            and self.days == other.days
+        )
+
+    def __repr__(self) -> str:
+        return f"Interval(months={self.months}, days={self.days})"
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    return (_dt.date(year, month + 1, 1) - _dt.timedelta(days=1)).day
+
+
+def python_type_of(value: Any) -> Optional[str]:
+    """Best-effort engine type of a Python value (for inference/tests)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return TEXT
+    if isinstance(value, _dt.date):
+        return DATE
+    return ANY

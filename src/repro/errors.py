@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still being able to
+distinguish SQL-front-end problems from operator misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An operator or function received an out-of-domain argument."""
+
+
+class DimensionMismatchError(InvalidParameterError):
+    """Points of different dimensionality were mixed in one operation."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SQLError):
+    """The SQL text contains characters that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The token stream does not form a valid statement."""
+
+
+class PlanningError(SQLError):
+    """The statement parsed but cannot be turned into an executable plan."""
+
+
+class CatalogError(ReproError):
+    """A table or column reference could not be resolved in the catalog."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""

@@ -1,0 +1,22 @@
+"""Computational-geometry substrate: rectangles, convex hulls, polygons."""
+
+from repro.geometry.convex_hull import (
+    IncrementalHull,
+    convex_hull,
+    diameter,
+    farthest_vertex,
+    point_in_convex_polygon,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.rectangle import Rect, eps_all_rect
+
+__all__ = [
+    "Rect",
+    "eps_all_rect",
+    "convex_hull",
+    "point_in_convex_polygon",
+    "farthest_vertex",
+    "diameter",
+    "IncrementalHull",
+    "Polygon",
+]

@@ -1,0 +1,79 @@
+"""Polygon helpers for the spatial aggregates (``ST_Polygon`` in the paper).
+
+The MANET and social-grouping queries in Section 5 aggregate each group into
+an enclosing polygon.  We materialize that as the group's convex hull, which
+is the tightest convex region covering the members.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.convex_hull import convex_hull, cross
+
+Point2 = Tuple[float, float]
+
+
+class Polygon:
+    """A simple (convex, CCW) polygon produced by ``ST_Polygon``.
+
+    Exposes the handful of measures example applications need; equality is
+    structural on the vertex ring so query results compare cleanly in tests.
+    """
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Sequence[float]]):
+        self.vertices: List[Point2] = [(float(x), float(y)) for x, y in vertices]
+
+    @classmethod
+    def enclosing(cls, points: Sequence[Sequence[float]]) -> "Polygon":
+        """Convex polygon enclosing ``points`` (degenerates allowed)."""
+        return cls(convex_hull(points))
+
+    def area(self) -> float:
+        """Shoelace area; 0.0 for degenerate polygons."""
+        n = len(self.vertices)
+        if n < 3:
+            return 0.0
+        total = 0.0
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            total += x1 * y2 - x2 * y1
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        n = len(self.vertices)
+        if n < 2:
+            return 0.0
+        total = 0.0
+        for i in range(n):
+            x1, y1 = self.vertices[i]
+            x2, y2 = self.vertices[(i + 1) % n]
+            if n == 2 and i == 1:
+                break  # a segment has one edge, not two
+            total += ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        return total
+
+    def contains(self, p: Sequence[float]) -> bool:
+        n = len(self.vertices)
+        if n == 0:
+            return False
+        if n < 3:
+            from repro.geometry.convex_hull import point_in_convex_polygon
+
+            return point_in_convex_polygon(p, self.vertices)
+        return all(
+            cross(self.vertices[i], self.vertices[(i + 1) % n], p) >= -1e-12
+            for i in range(n)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Polygon) and self.vertices == other.vertices
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.vertices))
+
+    def __repr__(self) -> str:
+        return f"Polygon({self.vertices})"

@@ -1,0 +1,7 @@
+"""Spatial access methods: R-tree (Guttman) and a uniform hash grid."""
+
+from repro.index.btree import BPlusTree
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+
+__all__ = ["RTree", "GridIndex", "BPlusTree"]

@@ -1,0 +1,209 @@
+"""A B+tree for secondary indexes on engine tables.
+
+Classic order-``M`` B+tree: internal nodes hold separator keys, leaves hold
+``(key, value)`` pairs and are chained for range scans.  Duplicate keys are
+supported (each duplicate is its own leaf entry).  The engine's tables are
+append-only, so the tree implements insert and lookup but not deletion —
+``DROP INDEX`` discards the whole structure instead.
+
+Keys may be any mutually comparable Python values (ints, floats, strings,
+dates); NULL keys are not indexed (SQL semantics: ``col = NULL`` never
+matches anyway).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []        # separators, len == len(children)-1
+        self.children: List[Any] = []    # _Leaf or _Internal
+
+
+class BPlusTree:
+    """B+tree over (key, value) pairs with duplicate keys allowed."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise InvalidParameterError("order must be >= 4")
+        self._order = order
+        self._root: Any = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one pair; duplicates of ``key`` are kept."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: Any, key: Any, value: Any):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) <= self._order:
+                return None
+            # split the leaf
+            mid = len(node.keys) // 2
+            right = _Leaf()
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next = node.next
+            node.next = right
+            return right.keys[0], right
+        # internal node
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) <= self._order:
+            return None
+        mid = len(node.keys) // 2
+        sep_up = node.keys[mid]
+        right_node = _Internal()
+        right_node.keys = node.keys[mid + 1:]
+        right_node.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep_up, right_node
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _leftmost_leaf_for(self, key: Any) -> Tuple[_Leaf, int]:
+        """Leaf and offset of the first entry with ``entry_key >= key``."""
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect.bisect_left(node.keys, key)
+            node = node.children[idx]
+        return node, bisect.bisect_left(node.keys, key)
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under ``key`` (duplicates in insert order
+        within a leaf run)."""
+        return list(self.range(key, key))
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Any]:
+        """Values with keys in the given (optionally open) range, in key
+        order."""
+        if low is not None:
+            leaf, idx = self._leftmost_leaf_for(low)
+        else:
+            node = self._root
+            while isinstance(node, _Internal):
+                node = node.children[0]
+            leaf, idx = node, 0
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if low is not None:
+                    if key < low or (not include_low and key == low):
+                        idx += 1
+                        continue
+                if high is not None:
+                    if key > high or (not include_high and key == high):
+                        return
+                yield leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        leaf: Optional[_Leaf] = node
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def min_key(self) -> Any:
+        if not self._size:
+            raise KeyError("empty tree")
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        if not self._size:
+            raise KeyError("empty tree")
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def height(self) -> int:
+        h = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Structural checks for the tests: sorted keys, separator
+        correctness, uniform leaf depth, full leaf chain."""
+        depths = set()
+
+        def walk(node: Any, lo: Any, hi: Any, depth: int) -> None:
+            if isinstance(node, _Leaf):
+                depths.add(depth)
+                assert node.keys == sorted(node.keys)
+                for k in node.keys:
+                    if lo is not None:
+                        assert k >= lo
+                    if hi is not None:
+                        assert k < hi or k == hi
+                return
+            assert node.keys == sorted(node.keys)
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                walk(child, bounds[i], bounds[i + 1], depth + 1)
+
+        walk(self._root, None, None, 0)
+        assert len(depths) == 1
+        # leaf chain covers every entry in sorted order
+        chained = [k for k, _ in self.items()]
+        assert chained == sorted(chained)
+        assert len(chained) == self._size

@@ -1,0 +1,96 @@
+"""Uniform grid index over points — an ablation alternative to the R-tree.
+
+SGB-Any only ever issues fixed-size window queries (side ``2ε``), which a
+hash grid with cell side ``ε`` answers by probing a constant number of
+neighbouring cells.  The benchmark suite compares this against the R-tree
+(``benchmarks/bench_ablation.py``) to quantify how much of the paper's
+speed-up comes from indexing per se versus the specific index structure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rectangle import Rect
+
+
+class GridIndex:
+    """Hash grid of fixed cell side over d-dimensional points."""
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0:
+            raise InvalidParameterError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, ...], List[Tuple[Tuple[float, ...], Any]]] = (
+            defaultdict(list)
+        )
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _cell_of(self, p: Sequence[float]) -> Tuple[int, ...]:
+        return tuple(int(v // self.cell_size) for v in p)
+
+    def insert(self, point: Sequence[float], item: Any) -> None:
+        pt = tuple(float(v) for v in point)
+        self._cells[self._cell_of(pt)].append((pt, item))
+        self._size += 1
+
+    def delete(self, point: Sequence[float], item: Any) -> bool:
+        pt = tuple(float(v) for v in point)
+        cell = self._cell_of(pt)
+        bucket = self._cells.get(cell)
+        if not bucket:
+            return False
+        for i, (p, it) in enumerate(bucket):
+            if p == pt and it == item:
+                del bucket[i]
+                if not bucket:
+                    del self._cells[cell]
+                self._size -= 1
+                return True
+        return False
+
+    def search(self, window: Rect) -> List[Any]:
+        """Items whose point lies inside ``window`` (closed boundaries)."""
+        return [item for _, item in self.search_with_points(window)]
+
+    def search_with_points(
+        self, window: Rect
+    ) -> List[Tuple[Tuple[float, ...], Any]]:
+        lo_cell = self._cell_of(window.lo)
+        hi_cell = self._cell_of(window.hi)
+        out: List[Tuple[Tuple[float, ...], Any]] = []
+        for cell in _cell_range(lo_cell, hi_cell):
+            for pt, item in self._cells.get(cell, ()):
+                if window.contains_point(pt):
+                    out.append((pt, item))
+        return out
+
+    def items(self) -> Iterator[Tuple[Tuple[float, ...], Any]]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+
+def _cell_range(
+    lo: Tuple[int, ...], hi: Tuple[int, ...]
+) -> Iterator[Tuple[int, ...]]:
+    """All integer cells in the axis-aligned cell box [lo, hi]."""
+    if len(lo) == 2:  # common case, unrolled for speed
+        for x in range(lo[0], hi[0] + 1):
+            for y in range(lo[1], hi[1] + 1):
+                yield (x, y)
+        return
+    ranges = [range(l, h + 1) for l, h in zip(lo, hi)]
+
+    def rec(prefix: Tuple[int, ...], rest: List[range]) -> Iterator[Tuple[int, ...]]:
+        if not rest:
+            yield prefix
+            return
+        for v in rest[0]:
+            yield from rec(prefix + (v,), rest[1:])
+
+    yield from rec((), ranges)

@@ -1,0 +1,10 @@
+"""SQL front end: lexer, parser, AST, planner.
+
+Note: the planner is intentionally not re-exported here — importing it at
+package level would create a cycle (planner -> executor -> ast_nodes ->
+this package).  Import it as ``from repro.sql.planner import Planner``.
+"""
+
+from repro.sql.parser import parse, parse_one
+
+__all__ = ["parse", "parse_one"]

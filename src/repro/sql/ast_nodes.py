@@ -1,0 +1,732 @@
+"""AST for the SQL dialect, with executable expression binding.
+
+Expression nodes double as the executable form: ``bind(ctx)`` compiles a
+node against a schema into a plain ``row -> value`` callable, resolving
+column references to row indices once at plan time.  Nodes implement
+structural equality via :meth:`Expr.key` so the planner can match aggregate
+calls and GROUP BY expressions appearing in several clauses.
+
+SQL three-valued logic is honoured: comparisons and arithmetic propagate
+NULL (``None``); AND/OR/NOT follow Kleene logic; filters accept a row only
+when the predicate is exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.engine.schema import Schema
+from repro.engine.types import Interval
+from repro.errors import ExecutionError, PlanningError
+
+RowFn = Callable[[tuple], Any]
+
+
+class BindContext:
+    """What an expression needs to compile itself.
+
+    ``subquery_runner`` is provided by the planner and executes an
+    uncorrelated sub-select, returning its rows (used by IN / scalar
+    subqueries).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        subquery_runner: Optional[Callable[["Select"], List[tuple]]] = None,
+    ):
+        self.schema = schema
+        self.subquery_runner = subquery_runner
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base expression node."""
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        raise NotImplementedError(type(self).__name__)
+
+    def key(self) -> tuple:
+        """Structural identity used for GROUP BY / aggregate matching."""
+        raise NotImplementedError(type(self).__name__)
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def walk(self):
+        """Yield self and all descendants (pre-order)."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def contains_aggregate(self) -> bool:
+        return any(isinstance(n, AggCall) for n in self.walk())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class Literal(Expr):
+    def __init__(self, value: Any):
+        self.value = value
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def key(self) -> tuple:
+        return ("lit", self.value)
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class IntervalLiteral(Expr):
+    def __init__(self, amount: int, unit: str):
+        self.interval = Interval.of(amount, unit)
+        self.amount = amount
+        self.unit = unit
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        interval = self.interval
+        return lambda row: interval
+
+    def key(self) -> tuple:
+        return ("interval", self.interval.months, self.interval.days)
+
+    def __repr__(self) -> str:
+        return f"IntervalLiteral({self.amount} {self.unit})"
+
+
+class ColumnRef(Expr):
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        self.name = name.lower()
+        self.qualifier = qualifier.lower() if qualifier else None
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        idx = ctx.schema.resolve(self.name, self.qualifier)
+        return lambda row: row[idx]
+
+    def key(self) -> tuple:
+        return ("col", self.qualifier, self.name)
+
+    def __repr__(self) -> str:
+        q = f"{self.qualifier}." if self.qualifier else ""
+        return f"ColumnRef({q}{self.name})"
+
+
+class Star(Expr):
+    """``*`` — only legal inside COUNT(*) or as the lone select item."""
+
+    def key(self) -> tuple:
+        return ("star",)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        raise PlanningError("'*' cannot be evaluated as a scalar expression")
+
+    def __repr__(self) -> str:
+        return "Star()"
+
+
+def _null_safe(op: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    def apply(a: Any, b: Any) -> Any:
+        if a is None or b is None:
+            return None
+        return op(a, b)
+
+    return apply
+
+
+def _add(a: Any, b: Any) -> Any:
+    if isinstance(b, Interval):
+        if not isinstance(a, _dt.date):
+            raise ExecutionError(f"cannot add interval to {type(a).__name__}")
+        return b.add_to(a)
+    if isinstance(a, Interval):
+        return _add(b, a)
+    return a + b
+
+
+def _sub(a: Any, b: Any) -> Any:
+    if isinstance(b, Interval):
+        if not isinstance(a, _dt.date):
+            raise ExecutionError(
+                f"cannot subtract interval from {type(a).__name__}"
+            )
+        return b.negated().add_to(a)
+    if isinstance(a, _dt.date) and isinstance(b, _dt.date):
+        return (a - b).days
+    return a - b
+
+
+def _div(a: Any, b: Any) -> Any:
+    if b == 0:
+        raise ExecutionError("division by zero")
+    return a / b
+
+
+_ARITH = {
+    "+": _null_safe(_add),
+    "-": _null_safe(_sub),
+    "*": _null_safe(lambda a, b: a * b),
+    "/": _null_safe(_div),
+    "%": _null_safe(lambda a, b: a % b),
+}
+
+_COMPARE = {
+    "=": _null_safe(lambda a, b: a == b),
+    "<>": _null_safe(lambda a, b: a != b),
+    "!=": _null_safe(lambda a, b: a != b),
+    "<": _null_safe(lambda a, b: a < b),
+    "<=": _null_safe(lambda a, b: a <= b),
+    ">": _null_safe(lambda a, b: a > b),
+    ">=": _null_safe(lambda a, b: a >= b),
+}
+
+
+def _and3(a: Any, b: Any) -> Any:
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return bool(a) and bool(b)
+
+
+def _or3(a: Any, b: Any) -> Any:
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return bool(a) or bool(b)
+
+
+class BinaryOp(Expr):
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op.lower()
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        lf = self.left.bind(ctx)
+        rf = self.right.bind(ctx)
+        op = self.op
+        if op in _ARITH:
+            fn = _ARITH[op]
+            return lambda row: fn(lf(row), rf(row))
+        if op in _COMPARE:
+            fn = _COMPARE[op]
+            return lambda row: fn(lf(row), rf(row))
+        if op == "and":
+            return lambda row: _and3(lf(row), rf(row))
+        if op == "or":
+            return lambda row: _or3(lf(row), rf(row))
+        raise PlanningError(f"unknown binary operator {self.op!r}")
+
+    def key(self) -> tuple:
+        return ("bin", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class UnaryOp(Expr):
+    def __init__(self, op: str, operand: Expr):
+        self.op = op.lower()
+        self.operand = operand
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        f = self.operand.bind(ctx)
+        if self.op == "-":
+            def neg(row: tuple) -> Any:
+                v = f(row)
+                return None if v is None else -v
+
+            return neg
+        if self.op == "+":
+            return f
+        if self.op == "not":
+            def fn(row: tuple) -> Any:
+                v = f(row)
+                return None if v is None else not v
+
+            return fn
+        raise PlanningError(f"unknown unary operator {self.op!r}")
+
+    def key(self) -> tuple:
+        return ("un", self.op, self.operand.key())
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op!r}, {self.operand!r})"
+
+
+class IsNull(Expr):
+    def __init__(self, operand: Expr, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        f = self.operand.bind(ctx)
+        if self.negated:
+            return lambda row: f(row) is not None
+        return lambda row: f(row) is None
+
+    def key(self) -> tuple:
+        return ("isnull", self.negated, self.operand.key())
+
+
+class Between(Expr):
+    def __init__(self, operand: Expr, low: Expr, high: Expr, negated: bool = False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand, self.low, self.high)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        f = self.operand.bind(ctx)
+        lo = self.low.bind(ctx)
+        hi = self.high.bind(ctx)
+        negated = self.negated
+
+        def fn(row: tuple) -> Any:
+            v, l, h = f(row), lo(row), hi(row)
+            if v is None or l is None or h is None:
+                return None
+            result = l <= v <= h
+            return not result if negated else result
+
+        return fn
+
+    def key(self) -> tuple:
+        return ("between", self.negated, self.operand.key(), self.low.key(),
+                self.high.key())
+
+
+class Like(Expr):
+    def __init__(self, operand: Expr, pattern: str, negated: bool = False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._regex = _like_to_regex(pattern)
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        f = self.operand.bind(ctx)
+        regex = self._regex
+        negated = self.negated
+
+        def fn(row: tuple) -> Any:
+            v = f(row)
+            if v is None:
+                return None
+            result = regex.match(v) is not None
+            return not result if negated else result
+
+        return fn
+
+    def key(self) -> tuple:
+        return ("like", self.negated, self.pattern, self.operand.key())
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+class InList(Expr):
+    def __init__(self, operand: Expr, items: Sequence[Expr], negated: bool = False):
+        self.operand = operand
+        self.items = list(items)
+        self.negated = negated
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand, *self.items)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        f = self.operand.bind(ctx)
+        item_fns = [i.bind(ctx) for i in self.items]
+        negated = self.negated
+
+        def fn(row: tuple) -> Any:
+            v = f(row)
+            if v is None:
+                return None
+            result = any(g(row) == v for g in item_fns)
+            return not result if negated else result
+
+        return fn
+
+    def key(self) -> tuple:
+        return (
+            "inlist",
+            self.negated,
+            self.operand.key(),
+            tuple(i.key() for i in self.items),
+        )
+
+
+class InSubquery(Expr):
+    """Uncorrelated ``expr IN (SELECT …)``.
+
+    Bound by materializing the subquery once into a set (the planner passes
+    a ``subquery_runner`` in the context); correlated subqueries are not
+    supported and fail at bind time with a clear message.
+    """
+
+    def __init__(self, operand: Expr, subquery: "Select", negated: bool = False):
+        self.operand = operand
+        self.subquery = subquery
+        self.negated = negated
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        if ctx.subquery_runner is None:
+            raise PlanningError("IN (SELECT …) is not allowed in this clause")
+        rows = ctx.subquery_runner(self.subquery)
+        if rows and len(rows[0]) != 1:
+            raise PlanningError("IN subquery must return exactly one column")
+        values = {r[0] for r in rows}
+        f = self.operand.bind(ctx)
+        negated = self.negated
+
+        def fn(row: tuple) -> Any:
+            v = f(row)
+            if v is None:
+                return None
+            result = v in values
+            return not result if negated else result
+
+        return fn
+
+    def key(self) -> tuple:
+        return ("insub", self.negated, self.operand.key(), id(self.subquery))
+
+
+class FuncCall(Expr):
+    """Scalar function call (``year(d)``, ``abs(x)``, …)."""
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        self.name = name.lower()
+        self.args = list(args)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        from repro.engine.functions import resolve_function
+
+        impl = resolve_function(self.name, len(self.args))
+        arg_fns = [a.bind(ctx) for a in self.args]
+        return lambda row: impl(*[f(row) for f in arg_fns])
+
+    def key(self) -> tuple:
+        return ("func", self.name, tuple(a.key() for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"FuncCall({self.name!r}, {self.args!r})"
+
+
+class AggCall(Expr):
+    """Aggregate function call; evaluated by aggregation operators only."""
+
+    def __init__(self, name: str, args: Sequence[Expr], star: bool = False,
+                 distinct: bool = False):
+        self.name = name.lower()
+        self.args = list(args)
+        self.star = star
+        self.distinct = distinct
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        raise PlanningError(
+            f"aggregate {self.name}() used outside an aggregation context"
+        )
+
+    def key(self) -> tuple:
+        return (
+            "agg",
+            self.name,
+            self.star,
+            self.distinct,
+            tuple(a.key() for a in self.args),
+        )
+
+    def __repr__(self) -> str:
+        inner = "*" if self.star else ", ".join(map(repr, self.args))
+        return f"AggCall({self.name}({inner}))"
+
+
+class Case(Expr):
+    """Searched ``CASE WHEN cond THEN value … [ELSE value] END``.
+
+    The simple form (``CASE operand WHEN literal THEN …``) is desugared by
+    the parser into the searched form with equality conditions.
+    """
+
+    def __init__(self, whens: Sequence[Tuple[Expr, Expr]],
+                 else_: Optional[Expr] = None):
+        self.whens = [(c, v) for c, v in whens]
+        self.else_ = else_
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = []
+        for cond, value in self.whens:
+            out.append(cond)
+            out.append(value)
+        if self.else_ is not None:
+            out.append(self.else_)
+        return out
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        pairs = [(c.bind(ctx), v.bind(ctx)) for c, v in self.whens]
+        else_fn = self.else_.bind(ctx) if self.else_ is not None else None
+
+        def fn(row: tuple) -> Any:
+            for cond_fn, value_fn in pairs:
+                if cond_fn(row) is True:
+                    return value_fn(row)
+            return else_fn(row) if else_fn is not None else None
+
+        return fn
+
+    def key(self) -> tuple:
+        return (
+            "case",
+            tuple((c.key(), v.key()) for c, v in self.whens),
+            self.else_.key() if self.else_ is not None else None,
+        )
+
+
+class PostAggRef(Expr):
+    """Reference into the aggregate operator's output row (planner-internal)."""
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def bind(self, ctx: BindContext) -> RowFn:
+        idx = self.index
+        return lambda row: row[idx]
+
+    def key(self) -> tuple:
+        return ("postagg", self.index)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class SelectItem:
+    def __init__(self, expr: Expr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias.lower() if alias else None
+
+    def output_name(self, position: int) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        if isinstance(self.expr, AggCall):
+            return self.expr.name
+        if isinstance(self.expr, FuncCall):
+            return self.expr.name
+        return f"col{position}"
+
+    def __repr__(self) -> str:
+        return f"SelectItem({self.expr!r}, alias={self.alias!r})"
+
+
+class TableSource:
+    """A named table in FROM."""
+
+    def __init__(self, name: str, alias: Optional[str] = None):
+        self.name = name.lower()
+        self.alias = (alias or name).lower()
+
+
+class SubquerySource:
+    """A parenthesized sub-select in FROM (requires an alias)."""
+
+    def __init__(self, select: "Select", alias: str):
+        self.select = select
+        self.alias = alias.lower()
+
+
+class FromItem:
+    """One FROM entry; ``join_type`` is None for the first / comma-joined
+    items and ``"inner"`` (with optional ``condition``) for JOIN clauses."""
+
+    def __init__(self, source, join_type: Optional[str] = None,
+                 condition: Optional[Expr] = None):
+        self.source = source
+        self.join_type = join_type
+        self.condition = condition
+
+
+class SimilaritySpec:
+    """The parsed GROUP BY similarity clause (paper §4 syntax).
+
+    ``partition_by`` is our extension: equality keys that split the input
+    before similarity grouping runs independently within each partition
+    (``… WITHIN ε [ON-OVERLAP …] PARTITION BY dept``).
+    """
+
+    def __init__(self, mode: str, metric: str, eps: Expr,
+                 on_overlap: Optional[str] = None,
+                 partition_by: Optional[List[Expr]] = None):
+        self.mode = mode  # "all" | "any"
+        self.metric = metric  # "l2" | "linf"
+        self.eps = eps
+        self.on_overlap = on_overlap  # only for mode == "all"
+        self.partition_by = partition_by or []
+
+    def __repr__(self) -> str:
+        return (
+            f"SimilaritySpec(mode={self.mode!r}, metric={self.metric!r}, "
+            f"on_overlap={self.on_overlap!r})"
+        )
+
+
+class Similarity1DSpec:
+    """The 1-D similarity grouping clauses (ICDE 2009 operator family).
+
+    ``kind`` is ``"segment"`` (MAXIMUM-ELEMENT-SEPARATION, with optional
+    MAXIMUM-GROUP-DIAMETER) or ``"around"`` (GROUP AROUND a list of central
+    points, with optional MAXIMUM-GROUP-DIAMETER).
+    """
+
+    def __init__(self, kind: str, separation: Optional[Expr] = None,
+                 diameter: Optional[Expr] = None,
+                 centers: Optional[List[Expr]] = None):
+        self.kind = kind
+        self.separation = separation
+        self.diameter = diameter
+        self.centers = centers or []
+
+    def __repr__(self) -> str:
+        return f"Similarity1DSpec(kind={self.kind!r})"
+
+
+class AroundNDSpec:
+    """Multi-dimensional ``GROUP BY x, y AROUND ((…), …) [WITHIN r]``."""
+
+    def __init__(self, centers: List[List[Expr]], metric: str = "l2",
+                 radius: Optional[Expr] = None):
+        self.centers = centers
+        self.metric = metric
+        self.radius = radius
+
+    def __repr__(self) -> str:
+        return f"AroundNDSpec({len(self.centers)} centres, {self.metric})"
+
+
+class OrderItem:
+    def __init__(self, expr: Expr, ascending: bool = True):
+        self.expr = expr
+        self.ascending = ascending
+
+
+class Select:
+    def __init__(
+        self,
+        items: List[SelectItem],
+        from_items: List[FromItem],
+        where: Optional[Expr] = None,
+        group_by: Optional[List[Expr]] = None,
+        similarity: Optional[SimilaritySpec] = None,
+        having: Optional[Expr] = None,
+        order_by: Optional[List[OrderItem]] = None,
+        limit: Optional[int] = None,
+        distinct: bool = False,
+    ):
+        self.items = items
+        self.from_items = from_items
+        self.where = where
+        self.group_by = group_by or []
+        self.similarity = similarity
+        self.having = having
+        self.order_by = order_by or []
+        self.limit = limit
+        self.distinct = distinct
+
+
+class Union:
+    """``select UNION [ALL] select [UNION …]`` — a chain of selects."""
+
+    def __init__(self, selects: List[Select], all_flags: List[bool]):
+        if len(all_flags) != len(selects) - 1:
+            raise ValueError("need one ALL flag per UNION")
+        self.selects = selects
+        self.all_flags = all_flags
+
+
+class ColumnDef:
+    def __init__(self, name: str, type_name: str):
+        self.name = name
+        self.type_name = type_name
+
+
+class CreateTable:
+    def __init__(self, name: str, columns: List[ColumnDef],
+                 if_not_exists: bool = False):
+        self.name = name
+        self.columns = columns
+        self.if_not_exists = if_not_exists
+
+
+class CreateIndex:
+    def __init__(self, name: str, table: str, column: str,
+                 if_not_exists: bool = False):
+        self.name = name
+        self.table = table
+        self.column = column
+        self.if_not_exists = if_not_exists
+
+
+class DropIndex:
+    def __init__(self, name: str, table: str):
+        self.name = name
+        self.table = table
+
+
+class DropTable:
+    def __init__(self, name: str, if_exists: bool = False):
+        self.name = name
+        self.if_exists = if_exists
+
+
+class Insert:
+    def __init__(self, table: str, rows: List[List[Expr]],
+                 columns: Optional[List[str]] = None):
+        self.table = table
+        self.rows = rows
+        self.columns = columns

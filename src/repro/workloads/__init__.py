@@ -1,0 +1,12 @@
+"""Workload generators and the evaluation query catalog."""
+
+from repro.workloads.checkins import CheckinDataset, brightkite, gowalla
+from repro.workloads.tpch import TPCHGenerator, load_tpch
+
+__all__ = [
+    "TPCHGenerator",
+    "load_tpch",
+    "CheckinDataset",
+    "brightkite",
+    "gowalla",
+]

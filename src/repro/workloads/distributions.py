@@ -1,0 +1,48 @@
+"""Seeded sampling helpers shared by the workload generators.
+
+Everything is driven by :class:`random.Random` instances so the generators
+are fully deterministic given a seed — a requirement for reproducible
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+
+def gaussian_2d(
+    rng: random.Random, center: Tuple[float, float], std: float
+) -> Tuple[float, float]:
+    return (rng.gauss(center[0], std), rng.gauss(center[1], std))
+
+
+def zipf_sizes(rng: random.Random, n_items: int, total: int,
+               alpha: float = 1.2) -> List[int]:
+    """Apportion ``total`` units across ``n_items`` following a Zipf-like
+    long tail (used for per-user check-in counts)."""
+    weights = [1.0 / (i + 1) ** alpha for i in range(n_items)]
+    scale = total / sum(weights)
+    sizes = [max(1, int(round(w * scale))) for w in weights]
+    # adjust rounding drift onto the head item
+    drift = total - sum(sizes)
+    sizes[0] = max(1, sizes[0] + drift)
+    rng.shuffle(sizes)
+    return sizes
+
+
+def skewed_price(rng: random.Random, lo: float, hi: float) -> float:
+    """Log-uniform price in [lo, hi] (TPC-H money columns are right-skewed)."""
+    return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+
+
+def pick_weighted(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    total = sum(weights)
+    r = rng.random() * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if acc >= r:
+            return item
+    return items[-1]

@@ -1,0 +1,217 @@
+"""TPC-H-like data generator (the paper's Table 2 substrate).
+
+Generates the subset of the TPC-H schema the evaluation queries touch —
+``customer``, ``orders``, ``lineitem``, ``supplier``, ``partsupp``,
+``part``, ``nation`` — with the same inter-table ratios as dbgen but scaled
+down by ``row_scale`` (default 1/1000) so a Python engine sweeps scale
+factors in minutes.  The paper's claims are about *relative* runtimes and
+growth with SF, which the scaled ratios preserve (see DESIGN.md,
+"Substitutions").
+
+Everything is deterministic per (scale_factor, seed).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.errors import InvalidParameterError
+from repro.workloads.distributions import skewed_price
+
+_NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+_PART_COLORS = [
+    "green", "blue", "red", "ivory", "salmon", "almond", "azure",
+    "chocolate", "smoke", "peach",
+]
+_PART_NOUNS = ["steel", "copper", "brass", "tin", "nickel"]
+
+# Canonical TPC-H per-SF cardinalities, scaled by ``row_scale``.
+_BASE_ROWS = {
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "supplier": 10_000,
+    "part": 200_000,
+}
+_LINEITEMS_PER_ORDER = (1, 7)  # uniform, avg 4 — matches dbgen
+_PARTSUPP_PER_PART = 4
+
+_DATE_LO = _dt.date(1992, 1, 1)
+_DATE_HI = _dt.date(1998, 8, 2)
+
+
+class TPCHGenerator:
+    """Deterministic TPC-H-like generator.
+
+    Parameters
+    ----------
+    scale_factor:
+        The SF axis of Figures 10 and 12 (may be fractional).
+    row_scale:
+        Fraction of the true TPC-H cardinalities to generate (default
+        1/1000; SF 1 then means 150 customers / 1500 orders / ~6000
+        lineitems).
+    """
+
+    def __init__(self, scale_factor: float = 1.0, row_scale: float = 0.001,
+                 seed: int = 42):
+        if scale_factor <= 0:
+            raise InvalidParameterError("scale_factor must be positive")
+        if row_scale <= 0:
+            raise InvalidParameterError("row_scale must be positive")
+        self.scale_factor = scale_factor
+        self.row_scale = row_scale
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.tables: Dict[str, List[tuple]] = {}
+        self._generate()
+
+    # ------------------------------------------------------------------
+    def _count(self, table: str) -> int:
+        return max(1, int(_BASE_ROWS[table] * self.scale_factor * self.row_scale))
+
+    def _rand_date(self, rng: random.Random) -> _dt.date:
+        span = (_DATE_HI - _DATE_LO).days
+        return _DATE_LO + _dt.timedelta(days=rng.randrange(span))
+
+    def _generate(self) -> None:
+        rng = self._rng
+        n_customer = self._count("customer")
+        n_orders = self._count("orders")
+        n_supplier = self._count("supplier")
+        n_part = self._count("part")
+
+        self.tables["nation"] = [
+            (i, name) for i, name in enumerate(_NATIONS)
+        ]
+
+        self.tables["customer"] = [
+            (
+                ck,
+                f"Customer#{ck:09d}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.randrange(len(_NATIONS)),
+            )
+            for ck in range(1, n_customer + 1)
+        ]
+
+        self.tables["supplier"] = [
+            (
+                sk,
+                f"Supplier#{sk:09d}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.randrange(len(_NATIONS)),
+            )
+            for sk in range(1, n_supplier + 1)
+        ]
+
+        self.tables["part"] = [
+            (
+                pk,
+                f"{rng.choice(_PART_COLORS)} {rng.choice(_PART_NOUNS)} "
+                f"part#{pk}",
+                round(skewed_price(rng, 900.0, 2100.0), 2),
+            )
+            for pk in range(1, n_part + 1)
+        ]
+
+        partsupp: List[tuple] = []
+        for pk in range(1, n_part + 1):
+            suppliers = rng.sample(
+                range(1, n_supplier + 1),
+                min(_PARTSUPP_PER_PART, n_supplier),
+            )
+            for sk in suppliers:
+                partsupp.append(
+                    (pk, sk, round(rng.uniform(1.0, 1000.0), 2),
+                     rng.randrange(1, 10_000))
+                )
+        self.tables["partsupp"] = partsupp
+
+        orders: List[tuple] = []
+        lineitems: List[tuple] = []
+        lk = 0
+        for ok in range(1, n_orders + 1):
+            ck = rng.randrange(1, n_customer + 1)
+            odate = self._rand_date(rng)
+            n_lines = rng.randint(*_LINEITEMS_PER_ORDER)
+            total = 0.0
+            for line in range(1, n_lines + 1):
+                lk += 1
+                pk = rng.randrange(1, n_part + 1)
+                # one of the suppliers that actually stocks the part
+                sk = partsupp[(pk - 1) * min(_PARTSUPP_PER_PART, n_supplier)
+                              + rng.randrange(min(_PARTSUPP_PER_PART,
+                                                  n_supplier))][1]
+                qty = rng.randrange(1, 51)
+                extended = round(qty * skewed_price(rng, 900.0, 2100.0), 2)
+                discount = round(rng.uniform(0.0, 0.10), 2)
+                ship = odate + _dt.timedelta(days=rng.randrange(1, 122))
+                receipt = ship + _dt.timedelta(days=rng.randrange(1, 31))
+                lineitems.append(
+                    (ok, pk, sk, float(qty), extended, discount, ship, receipt)
+                )
+                total += extended * (1 - discount)
+            orders.append((ok, ck, round(total, 2), odate))
+        self.tables["orders"] = orders
+        self.tables["lineitem"] = lineitems
+
+    # ------------------------------------------------------------------
+    def row_counts(self) -> Dict[str, int]:
+        return {name: len(rows) for name, rows in self.tables.items()}
+
+    def populate(self, db: Database) -> None:
+        """Create the TPC-H tables in ``db`` and load the generated rows."""
+        ddl = {
+            "nation": [("n_nationkey", "int"), ("n_name", "text")],
+            "customer": [
+                ("c_custkey", "int"), ("c_name", "text"),
+                ("c_acctbal", "float"), ("c_nationkey", "int"),
+            ],
+            "supplier": [
+                ("s_suppkey", "int"), ("s_name", "text"),
+                ("s_acctbal", "float"), ("s_nationkey", "int"),
+            ],
+            "part": [
+                ("p_partkey", "int"), ("p_name", "text"),
+                ("p_retailprice", "float"),
+            ],
+            "partsupp": [
+                ("ps_partkey", "int"), ("ps_suppkey", "int"),
+                ("ps_supplycost", "float"), ("ps_availqty", "int"),
+            ],
+            "orders": [
+                ("o_orderkey", "int"), ("o_custkey", "int"),
+                ("o_totalprice", "float"), ("o_orderdate", "date"),
+            ],
+            "lineitem": [
+                ("l_orderkey", "int"), ("l_partkey", "int"),
+                ("l_suppkey", "int"), ("l_quantity", "float"),
+                ("l_extendedprice", "float"), ("l_discount", "float"),
+                ("l_shipdate", "date"), ("l_receiptdate", "date"),
+            ],
+        }
+        for name, columns in ddl.items():
+            db.create_table(name, columns)
+            db.insert(name, self.tables[name])
+
+
+def load_tpch(
+    scale_factor: float = 1.0,
+    row_scale: float = 0.001,
+    seed: int = 42,
+    **db_kwargs,
+) -> Database:
+    """Convenience: a fresh Database pre-loaded with TPC-H-like data."""
+    db = Database(**db_kwargs)
+    TPCHGenerator(scale_factor, row_scale, seed).populate(db)
+    return db

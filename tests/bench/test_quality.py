@@ -1,0 +1,120 @@
+"""Grouping-quality metric tests."""
+
+import random
+
+import pytest
+
+from repro.bench.quality import (
+    adjusted_rand_index,
+    filter_assigned,
+    normalized_mutual_information,
+    purity,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_independent_partitions_near_zero(self):
+        rng = random.Random(0)
+        a = [rng.randrange(4) for _ in range(2000)]
+        b = [rng.randrange(4) for _ in range(2000)]
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_partial_agreement_between(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        score = adjusted_rand_index(a, b)
+        assert 0 < score < 1
+
+    def test_matches_sklearn_formula_on_known_case(self):
+        # the classic textbook example: ARI([0,0,1,2],[0,0,1,1]) = 0.571428…
+        assert adjusted_rand_index([0, 0, 1, 2], [0, 0, 1, 1]) == (
+            pytest.approx(0.5714285714285714)
+        )
+
+    def test_empty(self):
+        assert adjusted_rand_index([], []) == 1.0
+
+    def test_misaligned(self):
+        with pytest.raises(InvalidParameterError):
+            adjusted_rand_index([0], [0, 1])
+
+    def test_single_cluster_vs_singletons(self):
+        a = [0, 0, 0, 0]
+        b = [0, 1, 2, 3]
+        assert adjusted_rand_index(a, b) == pytest.approx(0.0)
+
+
+class TestNMI:
+    def test_identical(self):
+        assert normalized_mutual_information([0, 1, 0, 1], [7, 3, 7, 3]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_independent_near_zero(self):
+        rng = random.Random(1)
+        a = [rng.randrange(3) for _ in range(3000)]
+        b = [rng.randrange(3) for _ in range(3000)]
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_bounds(self):
+        rng = random.Random(2)
+        a = [rng.randrange(5) for _ in range(100)]
+        b = [rng.randrange(5) for _ in range(100)]
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+    def test_both_trivial(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    def test_empty(self):
+        assert normalized_mutual_information([], []) == 1.0
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        assert purity([0, 0, 1, 1], [5, 5, 6, 6]) == 1.0
+
+    def test_mixed_cluster(self):
+        assert purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
+
+    def test_singletons_always_pure(self):
+        assert purity([0, 1, 2], [9, 9, 9]) == 1.0
+
+    def test_empty(self):
+        assert purity([], []) == 1.0
+
+
+class TestFilterAssigned:
+    def test_drops_negative_positions(self):
+        a, b = filter_assigned([0, -1, 2, 3], [0, 1, -1, 3])
+        assert a == [0, 3] and b == [0, 3]
+
+    def test_misaligned(self):
+        with pytest.raises(InvalidParameterError):
+            filter_assigned([0], [])
+
+
+class TestCrossMethodSanity:
+    def test_sgb_any_vs_dbscan_agree_on_well_separated_blobs(self):
+        """On cleanly separated blobs, SGB-Any components and DBSCAN
+        clusters should be (nearly) the same partition."""
+        rng = random.Random(3)
+        blobs = []
+        truth = []
+        for b, center in enumerate([(0, 0), (10, 0), (0, 10)]):
+            for _ in range(40):
+                blobs.append(
+                    (rng.gauss(center[0], 0.3), rng.gauss(center[1], 0.3))
+                )
+                truth.append(b)
+        from repro.clustering import dbscan
+        from repro.core.api import sgb_any
+
+        sgb_labels = sgb_any(blobs, eps=1.5, metric="l2").labels
+        db_labels = dbscan(blobs, eps=1.5, min_pts=3).labels
+        a, b = filter_assigned(sgb_labels, db_labels)
+        assert adjusted_rand_index(a, b) > 0.99
+        assert purity(sgb_labels, truth) > 0.99

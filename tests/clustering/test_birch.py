@@ -1,0 +1,116 @@
+"""BIRCH / CF-tree tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.clustering.birch import CF, CFTree, birch
+from repro.errors import InvalidParameterError
+
+
+class TestCF:
+    def test_add_point_accumulates(self):
+        cf = CF(2)
+        cf.add_point((1.0, 2.0))
+        cf.add_point((3.0, 4.0))
+        assert cf.n == 2
+        assert cf.ls == [4.0, 6.0]
+        assert cf.ss == pytest.approx(1 + 4 + 9 + 16)
+        assert cf.centroid() == (2.0, 3.0)
+
+    def test_merge(self):
+        a, b = CF(2), CF(2)
+        a.add_point((1.0, 1.0))
+        b.add_point((3.0, 3.0))
+        a.merge(b)
+        assert a.n == 2
+        assert a.centroid() == (2.0, 2.0)
+
+    def test_radius_definition(self):
+        """Radius = RMS distance of members to the centroid."""
+        cf = CF(1)
+        cf.add_point((0.0,))
+        cf.add_point((2.0,))
+        # centroid 1.0, distances 1 and 1 -> radius 1
+        assert cf.radius_with() == pytest.approx(1.0)
+
+    def test_radius_with_probe(self):
+        cf = CF(1)
+        cf.add_point((0.0,))
+        # absorbing (2,) gives the same two-member subcluster
+        assert cf.radius_with((2.0,)) == pytest.approx(1.0)
+
+    def test_singleton_radius_zero(self):
+        cf = CF(2)
+        cf.add_point((5.0, 5.0))
+        assert cf.radius_with() == pytest.approx(0.0)
+
+
+class TestCFTree:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CFTree(0, 10, 2)
+        with pytest.raises(InvalidParameterError):
+            CFTree(1.0, 1, 2)
+
+    def test_threshold_controls_subclusters(self):
+        pts = [(float(i), 0.0) for i in range(10)]
+        tight = CFTree(0.1, 8, 2)
+        loose = CFTree(100.0, 8, 2)
+        for p in pts:
+            tight.insert(p)
+            loose.insert(p)
+        assert len(tight.leaf_cfs()) == 10
+        assert len(loose.leaf_cfs()) == 1
+
+    def test_total_count_preserved(self):
+        rng = random.Random(4)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        tree = CFTree(0.5, 4, 2)
+        for p in pts:
+            tree.insert(p)
+        assert sum(cf.n for cf in tree.leaf_cfs()) == 200
+
+    def test_splits_keep_small_radii(self):
+        rng = random.Random(5)
+        pts = [(rng.gauss(0, 1), rng.gauss(0, 1)) for _ in range(300)]
+        tree = CFTree(0.3, 4, 2)
+        for p in pts:
+            tree.insert(p)
+        for cf in tree.leaf_cfs():
+            assert cf.radius_with() <= 0.3 + 1e-9
+
+
+class TestBirch:
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            birch([])
+
+    def test_two_blobs(self):
+        rng = random.Random(6)
+        blob1 = [(rng.gauss(0, 0.2), rng.gauss(0, 0.2)) for _ in range(40)]
+        blob2 = [(rng.gauss(8, 0.2), rng.gauss(8, 0.2)) for _ in range(40)]
+        res = birch(blob1 + blob2, threshold=0.5, n_clusters=2)
+        first = set(res.labels[:40])
+        second = set(res.labels[40:])
+        assert len(first) == 1 and len(second) == 1 and first != second
+
+    def test_no_global_step_returns_subclusters(self):
+        pts = [(0.0, 0.0), (10.0, 10.0), (20.0, 20.0)]
+        res = birch(pts, threshold=0.5)
+        assert res.n_subclusters == 3
+        assert sorted(res.labels) == [0, 1, 2]
+
+    def test_labels_cover_all_points(self):
+        rng = random.Random(7)
+        pts = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(150)]
+        res = birch(pts, threshold=0.4, n_clusters=10)
+        assert len(res.labels) == 150
+        assert all(0 <= lb < len(res.centroids) for lb in res.labels)
+
+    def test_n_clusters_larger_than_subclusters(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (5.0, 5.0)]
+        res = birch(pts, threshold=0.5, n_clusters=10)
+        # cannot exceed subcluster count; falls back to subclusters
+        assert len(res.centroids) == res.n_subclusters

@@ -1,0 +1,96 @@
+"""K-means tests."""
+
+import random
+
+import pytest
+
+from repro.clustering.kmeans import kmeans
+from repro.errors import InvalidParameterError
+
+
+def two_blobs(n_per=50, seed=0):
+    rng = random.Random(seed)
+    a = [(rng.gauss(0, 0.3), rng.gauss(0, 0.3)) for _ in range(n_per)]
+    b = [(rng.gauss(10, 0.3), rng.gauss(10, 0.3)) for _ in range(n_per)]
+    return a + b
+
+
+class TestValidation:
+    def test_empty_points(self):
+        with pytest.raises(InvalidParameterError):
+            kmeans([], 1)
+
+    def test_k_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            kmeans([(0, 0)], 2)
+        with pytest.raises(InvalidParameterError):
+            kmeans([(0, 0)], 0)
+
+    def test_unknown_init(self):
+        with pytest.raises(InvalidParameterError):
+            kmeans([(0, 0), (1, 1)], 1, init="grid")
+
+
+class TestClustering:
+    def test_separates_two_blobs(self):
+        pts = two_blobs()
+        res = kmeans(pts, 2, seed=1)
+        first_half = set(res.labels[:50])
+        second_half = set(res.labels[50:])
+        assert len(first_half) == 1 and len(second_half) == 1
+        assert first_half != second_half
+
+    def test_centroids_near_blob_centers(self):
+        res = kmeans(two_blobs(), 2, seed=1)
+        centers = sorted(res.centroids)
+        assert abs(centers[0][0] - 0) < 0.5 and abs(centers[1][0] - 10) < 0.5
+
+    def test_k_equals_n(self):
+        pts = [(0, 0), (5, 5), (9, 1)]
+        res = kmeans(pts, 3, seed=0)
+        assert sorted(res.labels) == [0, 1, 2]
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_k_one(self):
+        pts = [(0, 0), (2, 0), (4, 0)]
+        res = kmeans(pts, 1)
+        assert res.labels == [0, 0, 0]
+        assert res.centroids[0] == pytest.approx((2.0, 0.0))
+
+    def test_deterministic_given_seed(self):
+        pts = two_blobs()
+        a = kmeans(pts, 4, seed=7)
+        b = kmeans(pts, 4, seed=7)
+        assert a.labels == b.labels
+        assert a.centroids == b.centroids
+
+    def test_duplicate_points(self):
+        res = kmeans([(1, 1)] * 10, 2, seed=0)
+        assert len(res.labels) == 10
+        assert res.inertia == pytest.approx(0.0)
+
+    def test_assignment_is_nearest_centroid(self):
+        """Lloyd invariant at convergence: each point is assigned to its
+        nearest centroid."""
+        pts = two_blobs(seed=3)
+        res = kmeans(pts, 3, seed=2)
+
+        def sq(p, q):
+            return (p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2
+
+        for p, lb in zip(pts, res.labels):
+            best = min(range(3), key=lambda c: sq(p, res.centroids[c]))
+            assert sq(p, res.centroids[lb]) == pytest.approx(
+                sq(p, res.centroids[best])
+            )
+
+    def test_random_init_works(self):
+        res = kmeans(two_blobs(), 2, seed=5, init="random")
+        assert len(set(res.labels)) == 2
+
+    def test_inertia_decreases_with_k(self):
+        pts = two_blobs(seed=9)
+        i1 = kmeans(pts, 1, seed=0).inertia
+        i2 = kmeans(pts, 2, seed=0).inertia
+        i4 = kmeans(pts, 4, seed=0).inertia
+        assert i1 >= i2 >= i4

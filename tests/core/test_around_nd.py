@@ -1,0 +1,135 @@
+"""Multi-dimensional GROUP AROUND tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.around import sgb_around_nd
+from repro.core.result import ELIMINATED
+from repro.errors import DimensionMismatchError, InvalidParameterError
+from tests.conftest import dist
+
+coord = st.floats(0, 10, allow_nan=False)
+point2 = st.tuples(coord, coord)
+
+
+class TestValidation:
+    def test_no_centers(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_around_nd([(0, 0)], centers=[])
+
+    def test_negative_eps(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_around_nd([(0, 0)], centers=[(0, 0)], eps=-1)
+
+    def test_mixed_center_dimensions(self):
+        with pytest.raises(DimensionMismatchError):
+            sgb_around_nd([(0, 0)], centers=[(0, 0), (1, 1, 1)])
+
+    def test_point_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            sgb_around_nd([(0, 0, 0)], centers=[(0, 0)])
+
+
+class TestSemantics:
+    def test_nearest_assignment(self):
+        res = sgb_around_nd([(1, 0), (9, 0)], centers=[(0, 0), (10, 0)])
+        assert res.labels == [0, 1]
+
+    def test_radius_excludes(self):
+        res = sgb_around_nd([(0, 0.2), (5, 5), (9.4, 0)],
+                            centers=[(0, 0), (10, 0)], eps=2)
+        assert res.labels == [0, ELIMINATED, 1]
+
+    def test_tie_goes_to_earlier_center(self):
+        res = sgb_around_nd([(5, 0)], centers=[(0, 0), (10, 0)])
+        assert res.labels == [0]
+
+    def test_metric_changes_assignment(self):
+        # (4,4): L2 dist to (0,0) is ~5.66, to (6,0) is ~4.47 -> centre 1;
+        # L-inf dist is 4 to both -> tie -> centre 0
+        res_l2 = sgb_around_nd([(4, 4)], centers=[(0, 0), (6, 0)],
+                               metric="l2")
+        res_linf = sgb_around_nd([(4, 4)], centers=[(0, 0), (6, 0)],
+                                 metric="linf")
+        assert res_l2.labels == [1]
+        assert res_linf.labels == [0]
+
+    def test_empty_points(self):
+        res = sgb_around_nd([], centers=[(0, 0)])
+        assert res.n_points == 0
+
+    def test_three_dimensional(self):
+        res = sgb_around_nd([(0, 0, 1), (5, 5, 5)],
+                            centers=[(0, 0, 0), (5, 5, 4)], eps=2)
+        assert res.labels == [0, 1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(points=st.lists(point2, max_size=30),
+           centers=st.lists(point2, min_size=1, max_size=4),
+           eps=st.one_of(st.none(), st.floats(0, 8, allow_nan=False)))
+    def test_nearest_invariant(self, points, centers, eps):
+        res = sgb_around_nd(points, centers, eps=eps)
+        for p, lb in zip(points, res.labels):
+            nearest = min(dist(p, c, "l2") for c in centers)
+            if lb == ELIMINATED:
+                assert eps is not None and nearest > eps - 1e-9
+            else:
+                assert dist(p, centers[lb], "l2") == pytest.approx(nearest)
+
+
+class TestSQL:
+    @pytest.fixture
+    def db(self):
+        from repro.engine.database import Database
+
+        d = Database()
+        d.execute("CREATE TABLE p (x float, y float, tag text)")
+        d.execute(
+            "INSERT INTO p VALUES (0,0.2,'a'),(5,5,'b'),(9.4,0,'c'),"
+            "(0.5,0,'d')"
+        )
+        return d
+
+    def test_around_with_radius(self, db):
+        res = db.query(
+            "SELECT count(*), array_agg(tag) FROM p "
+            "GROUP BY x, y AROUND ((0,0),(10,0)) WITHIN 2"
+        )
+        assert sorted((r[0], tuple(r[1])) for r in res) == [
+            (1, ("c",)), (2, ("a", "d")),
+        ]
+
+    def test_around_without_radius(self, db):
+        res = db.query(
+            "SELECT count(*) FROM p GROUP BY x, y AROUND ((0,0),(10,0))"
+        )
+        assert sum(r[0] for r in res) == 4
+
+    def test_metric_clause(self, db):
+        res = db.query(
+            "SELECT count(*) FROM p "
+            "GROUP BY x, y AROUND ((0,0),(10,0)) LINF WITHIN 5"
+        )
+        assert sorted(r[0] for r in res) == [1, 3]
+
+    def test_center_arity_checked(self, db):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError, match="coordinates"):
+            db.query(
+                "SELECT count(*) FROM p GROUP BY x, y AROUND ((0,0,0))"
+            )
+
+    def test_negative_coordinates_parse(self, db):
+        res = db.query(
+            "SELECT count(*) FROM p GROUP BY x, y "
+            "AROUND ((-1, -1), (10, 0)) WITHIN 3"
+        )
+        assert sorted(r[0] for r in res) == [1, 2]
+
+    def test_explain(self, db):
+        plan = db.explain(
+            "SELECT count(*) FROM p GROUP BY x, y AROUND ((0,0)) WITHIN 1"
+        )
+        assert "SimilarityGroupAround" in plan

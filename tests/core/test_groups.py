@@ -1,0 +1,155 @@
+"""Group data-structure tests: exact membership tests and maintenance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.distance import L2, LINF
+from repro.core.groups import Group, GroupRegistry
+
+coord = st.floats(0, 10, allow_nan=False)
+point2 = st.tuples(coord, coord)
+
+
+def make_group(points, eps, metric, use_hull=None):
+    if use_hull is None:
+        use_hull = metric is L2
+    g = Group(0, eps, metric, use_hull)
+    for i, p in enumerate(points):
+        g.add(i, tuple(float(v) for v in p))
+    return g
+
+
+class TestMaintenance:
+    def test_add_updates_structures(self):
+        g = make_group([(2, 3)], eps=2, metric=LINF)
+        assert g.mbr.lo == (2.0, 3.0)
+        assert g.eps_rect.lo == (0.0, 1.0) and g.eps_rect.hi == (4.0, 5.0)
+        g.add(1, (3.0, 4.0))
+        # Figure 5d: the eps-rect shrinks to the intersection
+        assert g.eps_rect.lo == (1.0, 2.0) and g.eps_rect.hi == (4.0, 5.0)
+        assert g.mbr.hi == (3.0, 4.0)
+
+    def test_remove_members_rebuilds(self):
+        g = make_group([(0, 0), (1, 1), (2, 2)], eps=3, metric=LINF)
+        g.remove_members([1])
+        assert g.member_ids == [0, 2]
+        assert g.mbr.lo == (0.0, 0.0) and g.mbr.hi == (2.0, 2.0)
+
+    def test_remove_all_members(self):
+        g = make_group([(0, 0)], eps=1, metric=LINF)
+        g.remove_members([0])
+        assert len(g) == 0
+        assert g.mbr is None and g.eps_rect is None
+
+    def test_remove_nothing_is_noop(self):
+        g = make_group([(0, 0)], eps=1, metric=LINF)
+        mbr = g.mbr
+        g.remove_members([])
+        assert g.mbr is mbr
+
+
+class TestAcceptsLinf:
+    def test_exact_for_linf(self):
+        g = make_group([(0, 0), (2, 2)], eps=3, metric=LINF)
+        assert g.accepts((1.0, 1.0))
+        assert g.accepts((3.0, 3.0))      # within 3 of both
+        assert not g.accepts((5.5, 0.0))  # too far from (0,0)
+
+    @given(st.lists(point2, min_size=1, max_size=12), point2,
+           st.floats(0.5, 6, allow_nan=False))
+    def test_accepts_iff_all_within(self, pts, probe, eps):
+        """For L∞, accepts() must agree exactly with the clique test —
+        but only on groups that are themselves cliques (the only state the
+        operator maintains)."""
+        clique = [pts[0]]
+        for p in pts[1:]:
+            if all(
+                max(abs(p[0] - q[0]), abs(p[1] - q[1])) <= eps for q in clique
+            ):
+                clique.append(p)
+        g = make_group(clique, eps, LINF)
+        want = all(
+            max(abs(probe[0] - q[0]), abs(probe[1] - q[1])) <= eps
+            for q in clique
+        )
+        assert g.accepts(tuple(map(float, probe))) == want
+
+
+class TestAcceptsL2:
+    def test_rectangle_false_positive_is_filtered(self):
+        # Figure 7b: a point inside the eps-rect corner but outside the
+        # eps-circle must be rejected under L2.
+        g = make_group([(0, 0)], eps=2, metric=L2)
+        corner = (1.9, 1.9)  # L-inf dist 1.9 <= 2 but L2 dist ~2.69
+        assert g.eps_rect.contains_point(corner)
+        assert not g.accepts(corner)
+
+    def test_inside_hull_accepted(self):
+        # a clique with diameter <= eps: anything inside the hull joins
+        g = make_group([(0, 0), (2, 0), (1, 1.5)], eps=2.6, metric=L2)
+        assert g.accepts((1.0, 0.5))
+
+    def test_outside_hull_farthest_vertex_rule(self):
+        g = make_group([(0, 0), (1, 0)], eps=2, metric=L2)
+        assert g.accepts((2.0, 0.0))       # farthest member (0,0) at dist 2
+        assert not g.accepts((2.1, 0.0))   # farthest member at 2.1
+
+    @given(st.lists(point2, min_size=1, max_size=12), point2,
+           st.floats(0.5, 6, allow_nan=False))
+    def test_hull_refinement_is_exact(self, pts, probe, eps):
+        """accepts() with the hull test must equal the brute-force clique
+        test for L2 on clique-consistent groups."""
+        clique = [pts[0]]
+        for p in pts[1:]:
+            if all(
+                ((p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2) <= eps * eps
+                for q in clique
+            ):
+                clique.append(p)
+        g = make_group(clique, eps, L2, use_hull=True)
+        want = all(
+            ((probe[0] - q[0]) ** 2 + (probe[1] - q[1]) ** 2)
+            <= eps * eps + 1e-9
+            for q in clique
+        )
+        got = g.accepts(tuple(map(float, probe)))
+        if got != want:
+            # only tolerate disagreement within floating-point slack of the
+            # boundary
+            worst = max(
+                ((probe[0] - q[0]) ** 2 + (probe[1] - q[1]) ** 2)
+                for q in clique
+            )
+            assert abs(worst - eps * eps) < 1e-6
+
+    def test_accepts_3d_falls_back_to_scan(self):
+        g = Group(0, 2.0, L2, use_hull=False)
+        g.add(0, (0.0, 0.0, 0.0))
+        g.add(1, (1.0, 1.0, 1.0))
+        assert g.accepts((0.5, 0.5, 0.5))
+        assert not g.accepts((2.0, 2.0, 0.0))  # dist to (0,0,0) ~2.83
+
+
+class TestMembershipHelpers:
+    def test_any_within_and_members_within(self):
+        g = make_group([(0, 0), (5, 5)], eps=10, metric=LINF)
+        assert g.any_within((1.0, 1.0))
+        assert g.members_within((1.0, 1.0)) == [0, 1]
+        g2 = make_group([(0, 0), (5, 5)], eps=2, metric=LINF)
+        assert g2.members_within((1.0, 1.0)) == [0]
+        assert g2.members_within((100.0, 100.0)) == []
+        assert not g2.any_within((100.0, 100.0))
+
+
+class TestRegistry:
+    def test_ids_are_stable_and_dense(self):
+        reg = GroupRegistry()
+        a = reg.new_group(1, LINF, False)
+        b = reg.new_group(1, LINF, False)
+        assert (a.gid, b.gid) == (0, 1)
+        reg.drop(0)
+        c = reg.new_group(1, LINF, False)
+        assert c.gid == 2  # ids never reused
+        assert {g.gid for g in reg} == {1, 2}
+        assert reg.get(1) is b

@@ -1,0 +1,42 @@
+"""Similarity predicate (Definition 2) tests."""
+
+import pytest
+
+from repro.core.distance import LINF
+from repro.core.predicate import SimilarityPredicate
+from repro.errors import InvalidParameterError
+
+
+class TestSimilarityPredicate:
+    def test_basic(self):
+        xi = SimilarityPredicate(eps=3, metric="linf")
+        assert xi((1, 1), (3, 3))
+        assert xi((1, 1), (4, 4))
+        assert not xi((1, 1), (4, 4.5))
+
+    def test_l2_default(self):
+        xi = SimilarityPredicate(eps=5)
+        assert xi.metric.name == "l2"
+        assert xi((0, 0), (3, 4))
+        assert not xi((0, 0), (3, 4.1))
+
+    def test_metric_instance(self):
+        xi = SimilarityPredicate(eps=1, metric=LINF)
+        assert xi.metric is LINF
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SimilarityPredicate(eps=-0.1)
+
+    def test_zero_eps_is_equality(self):
+        xi = SimilarityPredicate(eps=0)
+        assert xi((1, 2), (1, 2))
+        assert not xi((1, 2), (1, 2.0000001))
+
+    def test_distance_helper(self):
+        xi = SimilarityPredicate(eps=1, metric="l2")
+        assert xi.distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_repr(self):
+        xi = SimilarityPredicate(eps=2.5, metric="linf")
+        assert "2.5" in repr(xi) and "linf" in repr(xi)

@@ -1,0 +1,64 @@
+"""GroupingResult container tests."""
+
+import pytest
+
+from repro.core.result import ELIMINATED, GroupingResult
+
+
+def make_result():
+    points = [(0, 0), (1, 1), (5, 5), (6, 6), (9, 9)]
+    labels = [0, 0, 1, 1, ELIMINATED]
+    return GroupingResult(labels, points)
+
+
+class TestGroupingResult:
+    def test_counts(self):
+        r = make_result()
+        assert r.n_points == 5
+        assert r.n_groups == 2
+        assert r.n_eliminated == 1
+
+    def test_groups_mapping(self):
+        r = make_result()
+        assert r.groups() == {0: [0, 1], 1: [2, 3]}
+
+    def test_group_points(self):
+        r = make_result()
+        assert r.group_points()[1] == [(5, 5), (6, 6)]
+
+    def test_group_sizes_sorted_desc(self):
+        r = GroupingResult([0, 1, 1, 1, 2, 2], [(i, i) for i in range(6)])
+        assert r.group_sizes() == [3, 2, 1]
+
+    def test_eliminated_indices(self):
+        assert make_result().eliminated_indices() == [4]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            GroupingResult([0], [(0, 0), (1, 1)])
+
+    def test_relabeled_dense_first_appearance(self):
+        r = GroupingResult([7, 7, 3, ELIMINATED, 3],
+                           [(i, i) for i in range(5)])
+        rl = r.relabeled()
+        assert rl.labels == [0, 0, 1, ELIMINATED, 1]
+
+    def test_partition_order_insensitive(self):
+        pts = [(i, i) for i in range(4)]
+        a = GroupingResult([0, 0, 1, 1], pts)
+        b = GroupingResult([5, 5, 2, 2], pts)
+        assert a.partition() == b.partition()
+        assert a == b
+
+    def test_equality_respects_elimination(self):
+        pts = [(i, i) for i in range(3)]
+        a = GroupingResult([0, 0, ELIMINATED], pts)
+        b = GroupingResult([0, 0, 1], pts)
+        assert a != b
+
+    def test_empty(self):
+        r = GroupingResult([], [])
+        assert r.n_points == 0
+        assert r.n_groups == 0
+        assert r.groups() == {}
+        assert r.group_sizes() == []

@@ -1,0 +1,193 @@
+"""SGB-All unit tests: semantics of the three ON-OVERLAP clauses."""
+
+import pytest
+
+from repro.core.api import sgb_all
+from repro.core.result import ELIMINATED
+from repro.core.sgb_all import SGBAllOperator, normalize_overlap
+from repro.errors import InvalidParameterError
+
+STRATEGIES = ["all-pairs", "bounds-checking", "index"]
+
+
+class TestNormalizeOverlap:
+    @pytest.mark.parametrize("raw,canon", [
+        ("JOIN-ANY", "join-any"), ("join_any", "join-any"),
+        ("Eliminate", "eliminate"),
+        ("FORM-NEW-GROUP", "form-new-group"),
+        ("form-new", "form-new-group"), ("form_new_group", "form-new-group"),
+    ])
+    def test_spellings(self, raw, canon):
+        assert normalize_overlap(raw) == canon
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_overlap("drop")
+
+
+class TestParameterValidation:
+    def test_negative_eps(self):
+        with pytest.raises(InvalidParameterError):
+            SGBAllOperator(eps=-1)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            SGBAllOperator(eps=1, strategy="btree")
+
+    def test_unknown_tiebreak(self):
+        with pytest.raises(InvalidParameterError):
+            SGBAllOperator(eps=1, tiebreak="last")
+
+    def test_dimension_consistency(self):
+        op = SGBAllOperator(eps=1)
+        op.add((1, 2))
+        with pytest.raises(InvalidParameterError):
+            op.add((1, 2, 3))
+
+    def test_finalize_twice(self):
+        op = SGBAllOperator(eps=1)
+        op.add((0, 0))
+        op.finalize()
+        with pytest.raises(RuntimeError):
+            op.finalize()
+        with pytest.raises(RuntimeError):
+            op.add((1, 1))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestBasicGrouping:
+    def test_empty_input(self, strategy):
+        res = sgb_all([], eps=1, strategy=strategy)
+        assert res.n_points == 0 and res.n_groups == 0
+
+    def test_single_point(self, strategy):
+        res = sgb_all([(1, 1)], eps=1, strategy=strategy)
+        assert res.labels == [0]
+
+    def test_two_far_points(self, strategy):
+        res = sgb_all([(0, 0), (10, 10)], eps=1, strategy=strategy)
+        assert res.n_groups == 2
+
+    def test_clique_forms_one_group(self, strategy):
+        pts = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        res = sgb_all(pts, eps=2, metric="l2", strategy=strategy)
+        assert res.n_groups == 1
+        assert res.group_sizes() == [4]
+
+    def test_eps_zero_is_equality_grouping(self, strategy):
+        pts = [(1, 1), (2, 2), (1, 1), (3, 3), (2, 2), (1, 1)]
+        res = sgb_all(pts, eps=0, strategy=strategy, tiebreak="first")
+        assert sorted(res.group_sizes()) == [1, 2, 3]
+        groups = res.groups()
+        for members in groups.values():
+            values = {pts[i] for i in members}
+            assert len(values) == 1
+
+    def test_identical_points_single_group(self, strategy):
+        res = sgb_all([(5, 5)] * 7, eps=0.5, strategy=strategy)
+        assert res.n_groups == 1
+        assert res.group_sizes() == [7]
+
+    def test_one_dimensional_points(self, strategy):
+        res = sgb_all([(1,), (1.5,), (9,)], eps=1, strategy=strategy)
+        assert res.n_groups == 2
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestJoinAny:
+    def test_overlap_point_joins_exactly_one(self, strategy):
+        # x is a candidate for both pairs; JOIN-ANY places it in one
+        pts = [(0, 0), (1, 0), (4, 0), (5, 0), (2.5, 0)]
+        res = sgb_all(pts, eps=2.6, metric="l2", on_overlap="join-any",
+                      strategy=strategy, tiebreak="first")
+        assert sorted(res.group_sizes()) == [2, 3]
+        assert res.n_eliminated == 0
+
+    def test_random_tiebreak_is_seeded(self, strategy):
+        pts = [(0, 0), (1, 0), (4, 0), (5, 0), (2.5, 0)]
+        a = sgb_all(pts, eps=2.6, on_overlap="join-any", strategy=strategy,
+                    tiebreak="random", seed=123)
+        b = sgb_all(pts, eps=2.6, on_overlap="join-any", strategy=strategy,
+                    tiebreak="random", seed=123)
+        assert a == b
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestEliminate:
+    def test_multi_candidate_point_dropped(self, strategy):
+        pts = [(1, 6), (2, 7), (6, 4), (7, 5), (4, 5.5)]  # Example 1
+        res = sgb_all(pts, eps=3, metric="linf", on_overlap="eliminate",
+                      strategy=strategy)
+        assert res.labels[4] == ELIMINATED
+        assert sorted(res.group_sizes()) == [2, 2]
+
+    def test_partial_overlap_members_removed(self, strategy):
+        # g1 = {(0,0), (3,0)}; new point (4,0) is within eps=3.5 of (3,0)
+        # only -> g1 is an overlap group, (3,0) is deleted (Figure 4's a3).
+        pts = [(0, 0), (3, 0), (4.5, 0)]
+        res = sgb_all(pts, eps=3.5, metric="linf", on_overlap="eliminate",
+                      strategy=strategy)
+        assert res.labels[1] == ELIMINATED
+        assert res.labels[0] != ELIMINATED
+        assert res.labels[2] != ELIMINATED
+
+    def test_no_overlap_nothing_eliminated(self, strategy):
+        pts = [(0, 0), (1, 1), (50, 50), (51, 51)]
+        res = sgb_all(pts, eps=3, metric="linf", on_overlap="eliminate",
+                      strategy=strategy)
+        assert res.n_eliminated == 0
+        assert sorted(res.group_sizes()) == [2, 2]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFormNewGroup:
+    def test_overlap_point_gets_new_group(self, strategy):
+        pts = [(1, 6), (2, 7), (6, 4), (7, 5), (4, 5.5)]  # Example 1
+        res = sgb_all(pts, eps=3, metric="linf", on_overlap="form-new-group",
+                      strategy=strategy)
+        assert sorted(res.group_sizes()) == [1, 2, 2]
+        assert res.labels[4] not in (res.labels[0], res.labels[2])
+        assert res.n_eliminated == 0
+
+    def test_every_point_is_placed(self, strategy):
+        pts = [(i * 0.8, 0) for i in range(12)]
+        res = sgb_all(pts, eps=2, metric="linf",
+                      on_overlap="form-new-group", strategy=strategy)
+        assert res.n_eliminated == 0
+        assert all(lb >= 0 for lb in res.labels)
+
+    def test_recursive_regrouping_forms_cliques(self, strategy):
+        # chain: overlaps cascade into the deferred set, which must itself
+        # be grouped into valid cliques
+        pts = [(0, 0), (2, 0), (4, 0), (6, 0), (3, 0), (5, 0)]
+        res = sgb_all(pts, eps=2.5, metric="linf",
+                      on_overlap="form-new-group", strategy=strategy)
+        for members in res.groups().values():
+            coords = [pts[i] for i in members]
+            for i, a in enumerate(coords):
+                for b in coords[i + 1:]:
+                    assert max(abs(a[0] - b[0]), abs(a[1] - b[1])) <= 2.5
+
+
+class TestMaxRecursion:
+    def test_recursion_cap_forces_singletons(self):
+        pts = [(i * 0.8, 0) for i in range(10)]
+        res = sgb_all(pts, eps=2, metric="linf",
+                      on_overlap="form-new-group", max_recursion=0)
+        # still a total grouping, nothing lost
+        assert res.n_eliminated == 0
+        assert sum(res.group_sizes()) == len(pts)
+
+
+class TestUseHullToggle:
+    def test_hull_off_same_result(self):
+        import random
+
+        rng = random.Random(9)
+        pts = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(150)]
+        for clause in ("join-any", "eliminate", "form-new-group"):
+            on = sgb_all(pts, 1.0, "l2", clause, "index", tiebreak="first",
+                         use_hull=True)
+            off = sgb_all(pts, 1.0, "l2", clause, "index", tiebreak="first",
+                          use_hull=False)
+            assert on == off

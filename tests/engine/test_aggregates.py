@@ -1,0 +1,104 @@
+"""Aggregate accumulator tests."""
+
+import pytest
+
+from repro.engine.aggregates import is_aggregate_name, make_accumulator
+from repro.errors import PlanningError
+from repro.geometry.polygon import Polygon
+
+
+def run(name, values, n_args=1, distinct=False):
+    acc = make_accumulator(name, n_args, distinct)
+    for v in values:
+        acc.step(v if isinstance(v, tuple) else (v,))
+    return acc.final()
+
+
+class TestRegistry:
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("count")
+        assert is_aggregate_name("ST_POLYGON")
+        assert not is_aggregate_name("year")
+
+    def test_unknown(self):
+        with pytest.raises(PlanningError):
+            make_accumulator("mode_agg", 1)
+
+    def test_wrong_arity(self):
+        with pytest.raises(PlanningError):
+            make_accumulator("sum", 2)
+        with pytest.raises(PlanningError):
+            make_accumulator("st_polygon", 1)
+
+
+class TestCount:
+    def test_count_star(self):
+        acc = make_accumulator("count", 0)
+        for _ in range(5):
+            acc.step(())
+        assert acc.final() == 5
+
+    def test_count_expr_skips_nulls(self):
+        assert run("count", [1, None, 2, None]) == 2
+
+    def test_count_empty(self):
+        assert run("count", []) == 0
+
+
+class TestSumAvgMinMax:
+    def test_sum(self):
+        assert run("sum", [1, 2, 3]) == 6
+        assert run("sum", [1, None, 3]) == 4
+        assert run("sum", []) is None
+        assert run("sum", [None]) is None
+
+    def test_avg(self):
+        assert run("avg", [2, 4]) == 3.0
+        assert run("avg", [2, None, 4]) == 3.0
+        assert run("avg", []) is None
+        assert run("average", [1, 3]) == 2.0  # paper alias
+
+    def test_min_max(self):
+        assert run("min", [3, 1, 2]) == 1
+        assert run("max", [3, 1, 2]) == 3
+        assert run("min", [None, 5]) == 5
+        assert run("max", []) is None
+
+
+class TestArrayAgg:
+    def test_collects_in_order(self):
+        assert run("array_agg", [3, 1, 2]) == [3, 1, 2]
+
+    def test_keeps_nulls(self):
+        assert run("array_agg", [1, None]) == [1, None]
+
+    def test_list_id_alias(self):
+        assert run("list_id", ["u1", "u2"]) == ["u1", "u2"]
+
+
+class TestStPolygon:
+    def test_enclosing_polygon(self):
+        values = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0),
+                  (1.0, 1.0)]
+        poly = run("st_polygon", values, n_args=2)
+        assert isinstance(poly, Polygon)
+        assert poly.area() == pytest.approx(4.0)
+
+    def test_null_coordinates_skipped(self):
+        poly = run("st_polygon", [(0.0, 0.0), (None, 1.0), (2.0, 0.0)],
+                   n_args=2)
+        assert poly.perimeter() == pytest.approx(2.0)
+
+    def test_all_null_returns_none(self):
+        assert run("st_polygon", [(None, None)], n_args=2) is None
+
+
+class TestDistinct:
+    def test_count_distinct(self):
+        assert run("count", [1, 1, 2, 2, 3], distinct=True) == 3
+
+    def test_sum_distinct(self):
+        assert run("sum", [5, 5, 2], distinct=True) == 7
+
+    def test_array_agg_distinct(self):
+        assert run("array_agg", [1, 1, 2], distinct=True) == [1, 2]

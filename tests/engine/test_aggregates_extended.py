@@ -1,0 +1,143 @@
+"""Extended aggregates (stddev family, median, string_agg) and
+EXPLAIN ANALYZE."""
+
+import statistics
+
+import pytest
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.database import Database
+
+
+def run(name, values, n_args=1):
+    acc = make_accumulator(name, n_args)
+    for v in values:
+        acc.step(v if isinstance(v, tuple) else (v,))
+    return acc.final()
+
+
+class TestVarianceFamily:
+    def test_stddev_matches_statistics(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert run("stddev", data) == pytest.approx(statistics.stdev(data))
+        assert run("stddev_pop", data) == pytest.approx(
+            statistics.pstdev(data)
+        )
+        assert run("variance", data) == pytest.approx(
+            statistics.variance(data)
+        )
+        assert run("var_pop", data) == pytest.approx(
+            statistics.pvariance(data)
+        )
+
+    def test_single_value(self):
+        assert run("stddev", [5.0]) is None      # sample needs n >= 2
+        assert run("stddev_pop", [5.0]) == 0.0
+
+    def test_nulls_skipped(self):
+        assert run("var_pop", [1.0, None, 3.0]) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert run("variance", []) is None
+
+    def test_numerically_stable(self):
+        # Welford should survive a large offset that breaks naive sum-of-
+        # squares formulas
+        data = [1e9 + v for v in (1.0, 2.0, 3.0)]
+        assert run("variance", data) == pytest.approx(1.0)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert run("median", [5, 1, 3]) == 3
+
+    def test_even_averages(self):
+        assert run("median", [1, 2, 3, 4]) == 2.5
+
+    def test_nulls_and_empty(self):
+        assert run("median", [None, 7, None]) == 7
+        assert run("median", []) is None
+
+
+class TestStringAgg:
+    def test_joins_with_separator(self):
+        assert run("string_agg", [("a", ","), ("b", ","), ("c", ",")],
+                   n_args=2) == "a,b,c"
+
+    def test_null_values_skipped(self):
+        assert run("string_agg", [("a", "-"), (None, "-"), ("c", "-")],
+                   n_args=2) == "a-c"
+
+    def test_all_null_is_null(self):
+        assert run("string_agg", [(None, ",")], n_args=2) is None
+
+    def test_non_string_values_coerced(self):
+        assert run("string_agg", [(1, "+"), (2, "+")], n_args=2) == "1+2"
+
+
+class TestSQLLevel:
+    @pytest.fixture
+    def db(self):
+        d = Database()
+        d.execute("CREATE TABLE s (grp text, v float, name text)")
+        d.execute(
+            "INSERT INTO s VALUES ('a', 1, 'x'), ('a', 3, 'y'), "
+            "('b', 10, 'z'), ('b', 20, 'w'), ('b', 30, 'q')"
+        )
+        return d
+
+    def test_stddev_in_group_by(self, db):
+        res = db.query(
+            "SELECT grp, stddev_pop(v), median(v) FROM s GROUP BY grp "
+            "ORDER BY grp"
+        )
+        assert res.rows[0][0] == "a"
+        assert res.rows[0][1] == pytest.approx(1.0)
+        assert res.rows[0][2] == 2.0
+        assert res.rows[1][2] == 20.0
+
+    def test_string_agg_sql(self, db):
+        res = db.query(
+            "SELECT grp, string_agg(name, '/') FROM s GROUP BY grp "
+            "ORDER BY grp"
+        )
+        assert res.rows == [("a", "x/y"), ("b", "z/w/q")]
+
+    def test_stats_in_sgb_query(self, db):
+        d = Database(tiebreak="first")
+        d.execute("CREATE TABLE p (x float, y float)")
+        d.insert("p", [(0, 0), (1, 0), (10, 0), (11, 0)])
+        res = d.query(
+            "SELECT count(*), stddev_pop(x) FROM p GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 2"
+        )
+        assert sorted(res.rows) == [(2, 0.5), (2, 0.5)]
+
+
+class TestExplainAnalyze:
+    def test_row_counts_reported(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int)")
+        db.insert("t", [(i,) for i in range(10)])
+        text = db.explain_analyze("SELECT a FROM t WHERE a < 3")
+        assert "actual rows=3" in text       # the filter output
+        assert "actual rows=10" in text      # the scan below it
+        assert "ms" in text
+
+    def test_sgb_node_analyzed(self):
+        db = Database(tiebreak="first")
+        db.execute("CREATE TABLE p (x float, y float)")
+        db.insert("p", [(0, 0), (0.5, 0), (9, 9)])
+        text = db.explain_analyze(
+            "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 "
+            "WITHIN 1"
+        )
+        assert "SimilarityGroupBy" in text
+        assert "actual rows=2" in text  # two groups out
+
+    def test_rejects_non_select(self):
+        from repro.errors import PlanningError
+
+        db = Database()
+        with pytest.raises(PlanningError):
+            db.explain_analyze("CREATE TABLE t (a int)")

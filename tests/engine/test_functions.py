@@ -1,0 +1,52 @@
+"""Scalar function registry tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.functions import register_function, resolve_function
+from repro.errors import PlanningError
+
+
+class TestResolve:
+    def test_known(self):
+        assert resolve_function("abs", 1)(-3) == 3
+        assert resolve_function("year", 1)(dt.date(1995, 3, 1)) == 1995
+        assert resolve_function("month", 1)(dt.date(1995, 3, 1)) == 3
+        assert resolve_function("day", 1)(dt.date(1995, 3, 9)) == 9
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(PlanningError, match="unknown function"):
+            resolve_function("frobnicate", 2)
+
+    def test_wrong_arity(self):
+        with pytest.raises(PlanningError):
+            resolve_function("abs", 3)
+
+    def test_variadic(self):
+        coalesce = resolve_function("coalesce", 4)
+        assert coalesce(None, None, 7, 8) == 7
+        assert coalesce(None, None) is None
+
+    def test_null_propagation(self):
+        assert resolve_function("abs", 1)(None) is None
+        assert resolve_function("power", 2)(2, None) is None
+
+    def test_string_functions(self):
+        assert resolve_function("lower", 1)("ABC") == "abc"
+        assert resolve_function("upper", 1)("abc") == "ABC"
+        assert resolve_function("length", 1)("abcd") == 4
+        assert resolve_function("substr", 3)("hello", 2, 3) == "ell"
+
+    def test_math(self):
+        assert resolve_function("sqrt", 1)(9) == 3.0
+        assert resolve_function("floor", 1)(2.7) == 2.0
+        assert resolve_function("ceil", 1)(2.1) == 3.0
+        assert resolve_function("round", 2)(2.345, 2) == 2.35
+        assert resolve_function("mod", 2)(7, 3) == 1
+        assert resolve_function("greatest", 3)(1, 5, 3) == 5
+        assert resolve_function("least", 2)(1, 5) == 1
+
+    def test_register_extension(self):
+        register_function("triple", 1, lambda x: x * 3)
+        assert resolve_function("triple", 1)(4) == 12

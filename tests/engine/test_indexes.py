@@ -1,0 +1,144 @@
+"""Secondary-index tests: table level and SQL/planner level."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+
+class TestTableIndexes:
+    def test_create_covers_existing_rows(self):
+        t = Table("t", [("a", "int")])
+        t.insert_many([(3,), (1,), (2,)])
+        idx = t.create_index("i", "a")
+        assert list(idx.row_ids(1, 2)) == [1, 2]  # row positions of 1 and 2
+
+    def test_insert_maintains_index(self):
+        t = Table("t", [("a", "int")])
+        idx = t.create_index("i", "a")
+        t.insert((5,))
+        t.insert((4,))
+        assert list(idx.row_ids()) == [1, 0]  # key order 4, 5
+
+    def test_nulls_not_indexed(self):
+        t = Table("t", [("a", "int")])
+        idx = t.create_index("i", "a")
+        t.insert((None,))
+        t.insert((1,))
+        assert list(idx.row_ids()) == [1]
+
+    def test_duplicate_index_name(self):
+        t = Table("t", [("a", "int")])
+        t.create_index("i", "a")
+        with pytest.raises(CatalogError, match="already exists"):
+            t.create_index("i", "a")
+
+    def test_drop_index(self):
+        t = Table("t", [("a", "int")])
+        t.create_index("i", "a")
+        t.drop_index("i")
+        assert t.index_on("a") is None
+        with pytest.raises(CatalogError):
+            t.drop_index("i")
+
+    def test_truncate_rebuilds(self):
+        t = Table("t", [("a", "int")])
+        t.insert((1,))
+        idx = t.create_index("i", "a")
+        t.truncate()
+        assert list(t.indexes["i"].row_ids()) == []
+        t.insert((9,))
+        assert list(t.indexes["i"].row_ids()) == [0]
+
+    def test_index_on_picks_matching_column(self):
+        t = Table("t", [("a", "int"), ("b", "int")])
+        t.create_index("ib", "b")
+        assert t.index_on("a") is None
+        assert t.index_on("b").name == "ib"
+
+
+class TestSQLIndexes:
+    @pytest.fixture
+    def db(self):
+        d = Database()
+        d.execute("CREATE TABLE t (a int, b text, d date)")
+        d.insert("t", [
+            (i, f"r{i}", dt.date(1995, 1, 1) + dt.timedelta(days=i))
+            for i in range(200)
+        ])
+        d.execute("CREATE INDEX idx_a ON t (a)")
+        return d
+
+    def test_equality_uses_index(self, db):
+        plan = db.explain("SELECT b FROM t WHERE a = 42")
+        assert "IndexScan" in plan and "SeqScan" not in plan
+        assert db.query("SELECT b FROM t WHERE a = 42").rows == [("r42",)]
+
+    def test_flipped_comparison_uses_index(self, db):
+        plan = db.explain("SELECT b FROM t WHERE 42 = a")
+        assert "IndexScan" in plan
+        assert db.query("SELECT b FROM t WHERE 42 = a").rows == [("r42",)]
+
+    @pytest.mark.parametrize("predicate,expected", [
+        ("a < 5", 5), ("a <= 5", 6), ("a > 194", 5), ("a >= 194", 6),
+        ("a BETWEEN 10 AND 19", 10), ("5 > a", 5),
+    ])
+    def test_range_predicates(self, db, predicate, expected):
+        sql = f"SELECT count(*) FROM t WHERE {predicate}"
+        assert "IndexScan" in db.explain(sql)
+        assert db.query(sql).scalar() == expected
+
+    def test_results_identical_with_and_without_index(self, db):
+        sql = "SELECT b FROM t WHERE a BETWEEN 50 AND 60 ORDER BY b"
+        with_index = db.query(sql).rows
+        db.execute("DROP INDEX idx_a ON t")
+        assert "SeqScan" in db.explain(sql)
+        assert db.query(sql).rows == with_index
+
+    def test_unindexed_column_still_filters(self, db):
+        plan = db.explain("SELECT a FROM t WHERE b = 'r7'")
+        assert "IndexScan" not in plan
+        assert db.query("SELECT a FROM t WHERE b = 'r7'").scalar() == 7
+
+    def test_residual_conjunct_filters_above_index(self, db):
+        res = db.query("SELECT b FROM t WHERE a > 5 AND b = 'r7'")
+        assert res.rows == [("r7",)]
+
+    def test_date_index(self, db):
+        db.execute("CREATE INDEX idx_d ON t (d)")
+        sql = ("SELECT count(*) FROM t "
+               "WHERE d < date '1995-01-01' + interval '10' day")
+        # the comparison value is an expression, not a literal -> no index
+        assert db.query(sql).scalar() == 10
+        sql2 = "SELECT count(*) FROM t WHERE d >= date '1995-07-01'"
+        assert "IndexScan" in db.explain(sql2)
+        assert db.query(sql2).scalar() == 200 - 181
+
+    def test_insert_after_create_index_visible(self, db):
+        db.execute("INSERT INTO t VALUES (42, 'dup', NULL)")
+        res = db.query("SELECT b FROM t WHERE a = 42")
+        assert sorted(r[0] for r in res) == ["dup", "r42"]
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE INDEX IF NOT EXISTS idx_a ON t (a)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX idx_a ON t (a)")
+
+    def test_index_with_join(self, db):
+        db.execute("CREATE TABLE s (k int)")
+        db.insert("s", [(7,), (8,)])
+        res = db.query(
+            "SELECT b FROM t, s WHERE a = k AND a < 100 ORDER BY b"
+        )
+        assert res.rows == [("r7",), ("r8",)]
+        assert "IndexScan" in db.explain(
+            "SELECT b FROM t, s WHERE a = k AND a < 100"
+        )
+
+    def test_null_literal_not_routed(self, db):
+        plan = db.explain("SELECT b FROM t WHERE a = NULL")
+        assert "IndexScan" not in plan
+        assert db.query("SELECT b FROM t WHERE a = NULL").rows == []

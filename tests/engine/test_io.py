@@ -1,0 +1,128 @@
+"""CSV import/export tests."""
+
+import datetime as dt
+import io
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.io import dump_csv, infer_column_types, load_csv
+from repro.errors import InvalidParameterError
+
+
+class TestInference:
+    def test_types(self):
+        rows = [
+            ["1", "1.5", "2020-01-01", "true", "abc"],
+            ["2", "3", "2021-12-31", "false", "1.5x"],
+        ]
+        assert infer_column_types(rows) == [
+            "int", "float", "date", "bool", "text",
+        ]
+
+    def test_empty_cells_ignored(self):
+        rows = [["1", ""], ["", "2.5"]]
+        assert infer_column_types(rows) == ["int", "float"]
+
+    def test_all_empty_is_text(self):
+        assert infer_column_types([["", ""]]) == ["text", "text"]
+
+    def test_no_rows(self):
+        assert infer_column_types([]) == []
+
+
+class TestLoadCSV:
+    def test_with_header_and_inference(self):
+        db = Database()
+        text = "id,score,day\n1,2.5,2020-01-01\n2,,2020-06-15\n"
+        load_csv(db, "t", io.StringIO(text))
+        res = db.query("SELECT * FROM t ORDER BY id")
+        assert res.columns == ["id", "score", "day"]
+        assert res.rows == [
+            (1, 2.5, dt.date(2020, 1, 1)),
+            (2, None, dt.date(2020, 6, 15)),
+        ]
+
+    def test_without_header(self):
+        db = Database()
+        load_csv(db, "t", io.StringIO("1,a\n2,b\n"), header=False)
+        res = db.query("SELECT col1, col2 FROM t ORDER BY col1")
+        assert res.rows == [(1, "a"), (2, "b")]
+
+    def test_explicit_schema(self):
+        db = Database()
+        load_csv(
+            db, "t", io.StringIO("v\n1\n2\n"),
+            columns=[("v", "float")],
+        )
+        assert db.query("SELECT * FROM t").rows == [(1.0,), (2.0,)]
+
+    def test_schema_arity_mismatch(self):
+        db = Database()
+        with pytest.raises(InvalidParameterError, match="columns"):
+            load_csv(db, "t", io.StringIO("a,b\n1,2\n"),
+                     columns=[("a", "int")])
+
+    def test_ragged_row_rejected(self):
+        db = Database()
+        with pytest.raises(InvalidParameterError, match="cells"):
+            load_csv(db, "t", io.StringIO("a,b\n1\n"))
+
+    def test_empty_input(self):
+        db = Database()
+        with pytest.raises(InvalidParameterError, match="empty"):
+            load_csv(db, "t", io.StringIO(""))
+
+    def test_from_file_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x,y\n1,2\n3,4\n")
+        db = Database()
+        load_csv(db, "pts", str(path))
+        assert db.query("SELECT count(*) FROM pts").scalar() == 2
+
+    def test_loaded_data_supports_sgb(self):
+        db = Database()
+        load_csv(db, "pts",
+                 io.StringIO("x,y\n1,1\n1.5,1.2\n9,9\n"))
+        res = db.query(
+            "SELECT count(*) FROM pts GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert sorted(r[0] for r in res) == [1, 2]
+
+
+class TestDumpCSV:
+    def test_roundtrip(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int, b text, d date)")
+        db.execute("INSERT INTO t VALUES (1, 'x', '2020-01-01'), "
+                   "(2, NULL, NULL)")
+        text = dump_csv(db.query("SELECT * FROM t ORDER BY a"))
+        assert text == "a,b,d\n1,x,2020-01-01\n2,,\n"
+        # load it back
+        db2 = Database()
+        load_csv(db2, "t2", io.StringIO(text))
+        assert db2.query("SELECT a FROM t2 ORDER BY a").column("a") == [1, 2]
+
+    def test_to_file(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (7)")
+        path = tmp_path / "out.csv"
+        assert dump_csv(db.query("SELECT * FROM t"), str(path)) is None
+        assert path.read_text() == "a\n7\n"
+
+    def test_to_stream(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (7)")
+        buf = io.StringIO()
+        dump_csv(db.query("SELECT * FROM t"), buf)
+        assert buf.getvalue() == "a\n7\n"
+
+    def test_custom_delimiter(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int, b int)")
+        db.execute("INSERT INTO t VALUES (1, 2)")
+        text = dump_csv(db.query("SELECT * FROM t"), delimiter=";")
+        assert text == "a;b\n1;2\n"

@@ -1,0 +1,118 @@
+"""Save/load round-trip tests for whole-database persistence."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.io import load_database, save_database
+from repro.errors import InvalidParameterError
+
+
+def build_db():
+    db = Database()
+    db.execute(
+        "CREATE TABLE emp (id int, name text, salary float, hired date, "
+        "active bool)"
+    )
+    db.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 100.5, '2020-01-15', true), "
+        "(2, 'bob', NULL, NULL, false)"
+    )
+    db.execute("CREATE TABLE empty_t (a int)")
+    db.execute("CREATE INDEX idx_id ON emp (id)")
+    return db
+
+
+class TestRoundTrip:
+    def test_schema_and_rows_survive(self, tmp_path):
+        db = build_db()
+        save_database(db, str(tmp_path / "snap"))
+        restored = load_database(str(tmp_path / "snap"))
+        assert restored.catalog.table_names() == ["emp", "empty_t"]
+        rows = restored.query("SELECT * FROM emp ORDER BY id").rows
+        assert rows == [
+            (1, "ann", 100.5, dt.date(2020, 1, 15), True),
+            (2, "bob", None, None, False),
+        ]
+        assert restored.query("SELECT count(*) FROM empty_t").scalar() == 0
+
+    def test_types_preserved_exactly(self, tmp_path):
+        db = build_db()
+        save_database(db, str(tmp_path / "snap"))
+        restored = load_database(str(tmp_path / "snap"))
+        cols = {c.name: c.type for c in restored.table("emp").schema}
+        assert cols == {
+            "id": "int", "name": "text", "salary": "float",
+            "hired": "date", "active": "bool",
+        }
+
+    def test_indexes_rebuilt(self, tmp_path):
+        db = build_db()
+        save_database(db, str(tmp_path / "snap"))
+        restored = load_database(str(tmp_path / "snap"))
+        assert "IndexScan" in restored.explain(
+            "SELECT name FROM emp WHERE id = 1"
+        )
+        assert restored.query(
+            "SELECT name FROM emp WHERE id = 1"
+        ).rows == [("ann",)]
+
+    def test_sgb_works_after_restore(self, tmp_path):
+        db = Database(tiebreak="first")
+        db.execute("CREATE TABLE p (x float, y float)")
+        db.insert("p", [(0, 0), (0.5, 0), (9, 9)])
+        save_database(db, str(tmp_path / "snap"))
+        restored = load_database(str(tmp_path / "snap"), tiebreak="first")
+        res = restored.query(
+            "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 "
+            "WITHIN 1"
+        )
+        assert sorted(r[0] for r in res) == [1, 2]
+
+    def test_double_save_overwrites(self, tmp_path):
+        db = build_db()
+        target = str(tmp_path / "snap")
+        save_database(db, target)
+        db.execute("INSERT INTO emp VALUES (3, 'cat', 1.0, NULL, true)")
+        save_database(db, target)
+        restored = load_database(target)
+        assert restored.query("SELECT count(*) FROM emp").scalar() == 3
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="manifest"):
+            load_database(str(tmp_path))
+
+    def test_random_tables_roundtrip(self, tmp_path):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        value = st.one_of(
+            st.none(),
+            st.integers(-10_000, 10_000),
+        )
+
+        @settings(max_examples=20, deadline=None)
+        @given(rows=st.lists(st.tuples(value, value), max_size=20),
+               seed=st.integers(0, 10_000))
+        def check(rows, seed):
+            db = Database()
+            db.execute("CREATE TABLE r (a int, b int)")
+            db.insert("r", rows)
+            target = str(tmp_path / f"snap{seed}")
+            save_database(db, target)
+            restored = load_database(target)
+            assert restored.table("r").rows == db.table("r").rows
+
+        check()
+
+    def test_text_values_with_commas_and_quotes(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE q (s text)")
+        db.insert("q", [('a,b',), ('he said "hi"',), ("line\nbreak",)])
+        save_database(db, str(tmp_path / "snap"))
+        restored = load_database(str(tmp_path / "snap"))
+        assert restored.query("SELECT s FROM q").column("s") == [
+            "a,b", 'he said "hi"', "line\nbreak",
+        ]

@@ -1,0 +1,67 @@
+"""Schema resolution tests."""
+
+import pytest
+
+from repro.engine.schema import Column, Schema
+from repro.errors import CatalogError
+
+
+def sample_schema():
+    return Schema([
+        Column("id", "int", "t1"),
+        Column("name", "text", "t1"),
+        Column("id", "int", "t2"),
+        Column("value", "float", "t2"),
+    ])
+
+
+class TestResolve:
+    def test_unqualified_unique(self):
+        s = sample_schema()
+        assert s.resolve("name") == 1
+        assert s.resolve("value") == 3
+
+    def test_qualified(self):
+        s = sample_schema()
+        assert s.resolve("id", "t1") == 0
+        assert s.resolve("id", "t2") == 2
+
+    def test_ambiguous_raises(self):
+        with pytest.raises(CatalogError, match="ambiguous"):
+            sample_schema().resolve("id")
+
+    def test_unknown_raises_with_available(self):
+        with pytest.raises(CatalogError, match="not found"):
+            sample_schema().resolve("missing")
+
+    def test_case_insensitive(self):
+        s = sample_schema()
+        assert s.resolve("NAME", "T1") == 1
+
+    def test_maybe_resolve(self):
+        s = sample_schema()
+        assert s.maybe_resolve("nope") is None
+        assert s.maybe_resolve("name") == 1
+
+
+class TestCombinators:
+    def test_concat(self):
+        a = Schema([Column("x", "int", "a")])
+        b = Schema([Column("y", "int", "b")])
+        c = a.concat(b)
+        assert c.names() == ["x", "y"]
+        assert c.resolve("y") == 1
+
+    def test_requalified(self):
+        s = sample_schema().requalified("sub")
+        # both id columns now carry the same qualifier -> ambiguous
+        with pytest.raises(CatalogError, match="ambiguous"):
+            s.resolve("id", "sub")
+        assert s.resolve("name", "sub") == 1
+        with pytest.raises(CatalogError):
+            s.resolve("name", "t1")  # old qualifier gone
+
+    def test_len_iter(self):
+        s = sample_schema()
+        assert len(s) == 4
+        assert [c.name for c in s] == ["id", "name", "id", "value"]

@@ -1,0 +1,103 @@
+"""PARTITION BY extension: similarity grouping within equality partitions."""
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.engine.database import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def db():
+    d = Database(tiebreak="first")
+    d.execute("CREATE TABLE c (city text, x float, y float, uid int)")
+    d.insert("c", [
+        ("nyc", 0.0, 0.0, 1), ("nyc", 0.5, 0.0, 2), ("nyc", 9.0, 9.0, 3),
+        ("sfo", 0.0, 0.0, 4), ("sfo", 0.2, 0.0, 5),
+    ])
+    return d
+
+
+class TestPartitionedSGB:
+    def test_partitions_do_not_mix(self, db):
+        res = db.query(
+            "SELECT city, count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+        )
+        got = sorted(res.rows)
+        # nyc: {(0,0),(0.5,0)} and {(9,9)}; sfo: {(0,0),(0.2,0)}
+        assert got == [("nyc", 1), ("nyc", 2), ("sfo", 2)]
+
+    def test_without_partition_cities_merge(self, db):
+        res = db.query(
+            "SELECT count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert sorted(r[0] for r in res) == [1, 4]
+
+    def test_partition_key_selectable(self, db):
+        res = db.query(
+            "SELECT city, array_agg(uid) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+        )
+        for city, uids in res:
+            assert city in ("nyc", "sfo")
+            # members stay inside the partition
+            if city == "nyc":
+                assert set(uids) <= {1, 2, 3}
+            else:
+                assert set(uids) <= {4, 5}
+
+    def test_partitioned_sgb_all_overlap_clause(self, db):
+        res = db.query(
+            "SELECT city, count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ALL LINF WITHIN 1 ON-OVERLAP ELIMINATE "
+            "PARTITION BY city"
+        )
+        assert sorted(res.rows) == [("nyc", 1), ("nyc", 2), ("sfo", 2)]
+
+    def test_matches_manual_per_partition_runs(self, db):
+        res = db.query(
+            "SELECT city, count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+        )
+        got = sorted(res.rows)
+        expected = []
+        for city, pts in [("nyc", [(0, 0), (0.5, 0), (9, 9)]),
+                          ("sfo", [(0, 0), (0.2, 0)])]:
+            for size in sgb_any(pts, 1, "l2").group_sizes():
+                expected.append((city, size))
+        assert got == sorted(expected)
+
+    def test_multi_key_partition(self, db):
+        db.execute("INSERT INTO c VALUES ('nyc', 0.0, 0.0, 6)")
+        res = db.query(
+            "SELECT city, uid, count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city, uid"
+        )
+        # every row is its own partition -> all singleton groups
+        assert all(row[2] == 1 for row in res)
+        assert len(res) == 6
+
+    def test_non_partition_column_still_rejected(self, db):
+        with pytest.raises(PlanningError, match="aggregate"):
+            db.query(
+                "SELECT uid, count(*) FROM c GROUP BY x, y "
+                "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+            )
+
+    def test_partition_with_having_and_order(self, db):
+        res = db.query(
+            "SELECT city, count(*) AS n FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city "
+            "HAVING count(*) > 1 ORDER BY city"
+        )
+        assert res.rows == [("nyc", 2), ("sfo", 2)]
+
+    def test_null_partition_key_is_its_own_partition(self, db):
+        db.execute("INSERT INTO c VALUES (NULL, 0.0, 0.0, 7)")
+        res = db.query(
+            "SELECT city, count(*) FROM c GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+        )
+        assert (None, 1) in res.rows

@@ -1,0 +1,113 @@
+"""Scripted tests for the SQL shell."""
+
+import pytest
+
+from repro.engine.shell import Shell, format_table
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def shell():
+    return Shell()
+
+
+def run(shell, *lines):
+    outputs = [shell.feed(line) for line in lines]
+    return outputs[-1]
+
+
+class TestStatements:
+    def test_single_line_statement(self, shell):
+        out = run(shell, "CREATE TABLE t (a int);")
+        assert out == "CREATE TABLE"
+
+    def test_multi_line_statement(self, shell):
+        run(shell, "CREATE TABLE t (a int);")
+        run(shell, "INSERT INTO t VALUES (1), (2);")
+        assert shell.feed("SELECT a FROM t") == ""  # buffered
+        assert shell.prompt.startswith("...")
+        out = shell.feed("ORDER BY a;")
+        assert "1" in out and "2" in out and "(2 rows)" in out
+
+    def test_error_reported_not_raised(self, shell):
+        out = run(shell, "SELECT * FROM missing;")
+        assert out.startswith("ERROR:")
+
+    def test_empty_line_noop(self, shell):
+        assert shell.feed("") == ""
+
+    def test_timing_toggle(self, shell):
+        assert "on" in shell.feed("\\timing")
+        run(shell, "CREATE TABLE t (a int);")
+        out = run(shell, "SELECT count(*) FROM t;")
+        assert "Time:" in out
+        assert "off" in shell.feed("\\timing")
+
+
+class TestMetaCommands:
+    def test_quit(self, shell):
+        shell.feed("\\q")
+        assert shell.done
+
+    def test_list_tables(self, shell):
+        assert shell.feed("\\d") == "No tables."
+        run(shell, "CREATE TABLE zoo (a int);")
+        assert "zoo (0 rows)" in shell.feed("\\d")
+
+    def test_describe_table(self, shell):
+        run(shell, "CREATE TABLE t (a int, b text);")
+        out = shell.feed("\\d t")
+        assert "a  int" in out and "b  text" in out
+
+    def test_describe_missing_table(self, shell):
+        assert shell.feed("\\d nope").startswith("ERROR:")
+
+    def test_explain(self, shell):
+        run(shell, "CREATE TABLE t (x float, y float);")
+        out = shell.feed(
+            "\\e SELECT count(*) FROM t GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1"
+        )
+        assert "SimilarityGroupBy" in out
+
+    def test_tpch_loader(self, shell):
+        out = shell.feed("\\tpch 0.5")
+        assert "SF=0.5" in out
+        out = run(shell, "SELECT count(*) FROM customer;")
+        assert "75" in out
+
+    def test_load_csv(self, shell, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("x,y\n1,2\n")
+        out = shell.feed(f"\\load pts {path}")
+        assert "Loaded 1 rows" in out
+
+    def test_load_usage(self, shell):
+        assert "usage" in shell.feed("\\load onlyone")
+
+    def test_unknown_meta(self, shell):
+        assert "unknown" in shell.feed("\\frobnicate")
+
+    def test_help(self, shell):
+        out = shell.feed("\\help")
+        assert "\\tpch" in out and "\\timing" in out
+
+
+class TestFormatting:
+    def test_format_table_nulls_lists_floats(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int, b float, c text)")
+        db.execute("INSERT INTO t VALUES (1, 2.5, NULL)")
+        res = db.query("SELECT a, b, c, array_agg(a) FROM t GROUP BY a, b, c")
+        text = format_table(res)
+        assert "NULL" in text
+        assert "2.5" in text
+        assert "{1}" in text
+
+    def test_format_truncates(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a int)")
+        db.insert("t", [(i,) for i in range(100)])
+        text = format_table(db.query("SELECT a FROM t"), max_rows=10)
+        assert "showing first 10" in text
+        assert text.count("\n") < 20

@@ -1,0 +1,164 @@
+"""Tests for the extended SQL surface: LEFT JOIN, CASE, UNION."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import ParseError, PlanningError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE a (x int, nm text)")
+    d.execute("CREATE TABLE b (x int, v float)")
+    d.execute("INSERT INTO a VALUES (1,'one'),(2,'two'),(3,'three')")
+    d.execute("INSERT INTO b VALUES (1, 1.5), (1, 2.5), (3, 9.0)")
+    return d
+
+
+class TestLeftJoin:
+    def test_unmatched_rows_null_extended(self, db):
+        res = db.query(
+            "SELECT nm, v FROM a LEFT JOIN b ON a.x = b.x ORDER BY nm, v"
+        )
+        assert res.rows == [
+            ("one", 1.5), ("one", 2.5), ("three", 9.0), ("two", None),
+        ]
+
+    def test_left_outer_spelling(self, db):
+        res = db.query(
+            "SELECT count(*) FROM a LEFT OUTER JOIN b ON a.x = b.x"
+        )
+        assert res.scalar() == 4
+
+    def test_anti_join_pattern(self, db):
+        res = db.query(
+            "SELECT nm FROM a LEFT JOIN b ON a.x = b.x WHERE v IS NULL"
+        )
+        assert res.rows == [("two",)]
+
+    def test_where_on_right_not_pushed_below_join(self, db):
+        # WHERE applies after null-extension: rows with v NULL must be kept
+        # by `v IS NULL`, which a pre-join pushdown would break.
+        res = db.query(
+            "SELECT nm FROM a LEFT JOIN b ON a.x = b.x "
+            "WHERE v IS NULL OR v > 2"
+        )
+        assert sorted(r[0] for r in res) == ["one", "three", "two"]
+
+    def test_non_equi_left_join(self, db):
+        res = db.query(
+            "SELECT nm FROM a LEFT JOIN b ON a.x > b.x WHERE v IS NULL"
+        )
+        assert res.rows == [("one",)]
+
+    def test_residual_in_on_condition(self, db):
+        # ON has equi + residual: residual failures still null-extend
+        res = db.query(
+            "SELECT nm, v FROM a LEFT JOIN b ON a.x = b.x AND v > 2 "
+            "ORDER BY nm, v"
+        )
+        assert res.rows == [
+            ("one", 2.5), ("three", 9.0), ("two", None),
+        ]
+
+    def test_plan_uses_hash_left_join_for_equi(self, db):
+        plan = db.explain("SELECT nm FROM a LEFT JOIN b ON a.x = b.x")
+        assert "HashLeftJoin" in plan
+
+    def test_left_join_then_inner_join(self, db):
+        db.execute("CREATE TABLE c (x int, lab text)")
+        db.execute("INSERT INTO c VALUES (1, 'c1'), (2, 'c2'), (3, 'c3')")
+        res = db.query(
+            "SELECT nm, lab, v FROM a LEFT JOIN b ON a.x = b.x "
+            "JOIN c ON a.x = c.x WHERE a.x = 2"
+        )
+        assert res.rows == [("two", "c2", None)]
+
+
+class TestCase:
+    def test_searched_case(self, db):
+        res = db.query(
+            "SELECT CASE WHEN x > 2 THEN 'big' WHEN x = 2 THEN 'mid' "
+            "ELSE 'small' END FROM a ORDER BY x"
+        )
+        assert [r[0] for r in res] == ["small", "mid", "big"]
+
+    def test_simple_case_desugars(self, db):
+        res = db.query(
+            "SELECT CASE nm WHEN 'one' THEN 1 WHEN 'two' THEN 2 END "
+            "FROM a ORDER BY x"
+        )
+        assert [r[0] for r in res] == [1, 2, None]
+
+    def test_missing_else_yields_null(self, db):
+        res = db.query("SELECT CASE WHEN x > 99 THEN 1 END FROM a")
+        assert all(r[0] is None for r in res)
+
+    def test_case_without_when_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.query("SELECT CASE END FROM a")
+        with pytest.raises(ParseError, match="WHEN"):
+            db.query("SELECT CASE x END FROM a")
+
+    def test_case_inside_aggregate(self, db):
+        res = db.query(
+            "SELECT sum(CASE WHEN v > 2 THEN 1 ELSE 0 END) FROM b"
+        )
+        assert res.scalar() == 2
+
+    def test_aggregate_inside_case(self, db):
+        res = db.query(
+            "SELECT CASE WHEN count(*) > 2 THEN 'many' ELSE 'few' END "
+            "FROM b"
+        )
+        assert res.scalar() == "many"
+
+    def test_case_in_where(self, db):
+        res = db.query(
+            "SELECT nm FROM a WHERE CASE WHEN x = 1 THEN true "
+            "ELSE false END"
+        )
+        assert res.rows == [("one",)]
+
+
+class TestUnion:
+    def test_union_distinct(self, db):
+        res = db.query("SELECT x FROM a UNION SELECT x FROM b")
+        assert sorted(r[0] for r in res) == [1, 2, 3]
+
+    def test_union_all_keeps_duplicates(self, db):
+        res = db.query("SELECT x FROM a UNION ALL SELECT x FROM b")
+        assert sorted(r[0] for r in res) == [1, 1, 1, 2, 3, 3]
+
+    def test_union_chain(self, db):
+        res = db.query(
+            "SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 1"
+        )
+        assert sorted(r[0] for r in res) == [1, 1, 2]
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(PlanningError, match="column"):
+            db.query("SELECT x FROM a UNION SELECT x, v FROM b")
+
+    def test_union_in_from_subquery(self, db):
+        res = db.query(
+            "SELECT count(*) FROM "
+            "(SELECT x FROM a UNION ALL SELECT x FROM b) AS u"
+        )
+        assert res.scalar() == 6
+
+    def test_union_in_in_subquery(self, db):
+        res = db.query(
+            "SELECT nm FROM a WHERE x IN "
+            "(SELECT 1 UNION SELECT 3)"
+        )
+        assert sorted(r[0] for r in res) == ["one", "three"]
+
+    def test_union_column_names_from_first_branch(self, db):
+        res = db.query("SELECT x AS first_name FROM a UNION SELECT x FROM b")
+        assert res.columns == ["first_name"]
+
+    def test_explain_union(self, db):
+        plan = db.explain("SELECT x FROM a UNION SELECT x FROM b")
+        assert "Concat" in plan and "Distinct" in plan

@@ -1,0 +1,93 @@
+"""Table and catalog tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.table import Table
+from repro.errors import CatalogError, InvalidParameterError
+
+
+class TestTable:
+    def test_insert_coerces(self):
+        t = Table("t", [("a", "int"), ("b", "date")])
+        t.insert((1, "1995-06-01"))
+        assert t.rows[0] == (1, dt.date(1995, 6, 1))
+
+    def test_insert_wrong_arity(self):
+        t = Table("t", [("a", "int")])
+        with pytest.raises(InvalidParameterError, match="expects 1"):
+            t.insert((1, 2))
+
+    def test_insert_bad_type(self):
+        t = Table("t", [("a", "int")])
+        with pytest.raises(InvalidParameterError):
+            t.insert(("oops",))
+
+    def test_insert_many_counts(self):
+        t = Table("t", [("a", "int")])
+        assert t.insert_many([(1,), (2,), (3,)]) == 3
+        assert len(t) == 3
+
+    def test_null_allowed(self):
+        t = Table("t", [("a", "int")])
+        t.insert((None,))
+        assert t.rows[0] == (None,)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            Table("t", [("a", "int"), ("A", "int")])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Table("t", [])
+
+    def test_truncate(self):
+        t = Table("t", [("a", "int")])
+        t.insert((1,))
+        t.truncate()
+        assert len(t) == 0
+
+    def test_schema_qualified_with_table_name(self):
+        t = Table("MyTable", [("a", "int")])
+        assert t.schema.columns[0].qualifier == "mytable"
+
+
+class TestCatalog:
+    def test_create_get(self):
+        c = Catalog()
+        t = c.create_table("t", [("a", "int")])
+        assert c.get("T") is t
+        assert "t" in c
+
+    def test_create_duplicate(self):
+        c = Catalog()
+        c.create_table("t", [("a", "int")])
+        with pytest.raises(CatalogError, match="already exists"):
+            c.create_table("t", [("a", "int")])
+        # if_not_exists returns the existing table
+        assert c.create_table("t", [("a", "int")], if_not_exists=True) is (
+            c.get("t")
+        )
+
+    def test_drop(self):
+        c = Catalog()
+        c.create_table("t", [("a", "int")])
+        c.drop_table("t")
+        assert "t" not in c
+        with pytest.raises(CatalogError):
+            c.drop_table("t")
+        c.drop_table("t", if_exists=True)  # no raise
+
+    def test_get_unknown_lists_known(self):
+        c = Catalog()
+        c.create_table("known", [("a", "int")])
+        with pytest.raises(CatalogError, match="known"):
+            c.get("unknown")
+
+    def test_table_names_sorted(self):
+        c = Catalog()
+        c.create_table("zeta", [("a", "int")])
+        c.create_table("alpha", [("a", "int")])
+        assert c.table_names() == ["alpha", "zeta"]

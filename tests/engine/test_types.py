@@ -1,0 +1,112 @@
+"""Engine type system tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine import types as T
+from repro.errors import InvalidParameterError
+
+
+class TestNormalize:
+    @pytest.mark.parametrize("alias,expected", [
+        ("INT", T.INT), ("integer", T.INT), ("bigint", T.INT),
+        ("FLOAT", T.FLOAT), ("double", T.FLOAT), ("decimal", T.FLOAT),
+        ("varchar", T.TEXT), ("TEXT", T.TEXT),
+        ("boolean", T.BOOL), ("date", T.DATE),
+    ])
+    def test_aliases(self, alias, expected):
+        assert T.normalize_type(alias) == expected
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            T.normalize_type("blob")
+
+
+class TestCoerce:
+    def test_null_passes(self):
+        assert T.coerce(None, T.INT) is None
+
+    def test_int(self):
+        assert T.coerce(5, T.INT) == 5
+        assert T.coerce(5.0, T.INT) == 5
+        with pytest.raises(InvalidParameterError):
+            T.coerce(5.5, T.INT)
+        with pytest.raises(InvalidParameterError):
+            T.coerce(True, T.INT)
+        with pytest.raises(InvalidParameterError):
+            T.coerce("x", T.INT)
+
+    def test_float(self):
+        assert T.coerce(5, T.FLOAT) == 5.0
+        assert isinstance(T.coerce(5, T.FLOAT), float)
+        with pytest.raises(InvalidParameterError):
+            T.coerce("5", T.FLOAT)
+
+    def test_text(self):
+        assert T.coerce("abc", T.TEXT) == "abc"
+        with pytest.raises(InvalidParameterError):
+            T.coerce(5, T.TEXT)
+
+    def test_bool(self):
+        assert T.coerce(True, T.BOOL) is True
+        with pytest.raises(InvalidParameterError):
+            T.coerce(1, T.BOOL)
+
+    def test_date_from_string_and_date(self):
+        d = dt.date(1995, 1, 1)
+        assert T.coerce("1995-01-01", T.DATE) == d
+        assert T.coerce(d, T.DATE) == d
+        assert T.coerce(dt.datetime(1995, 1, 1, 12), T.DATE) == d
+        with pytest.raises(InvalidParameterError):
+            T.coerce("not-a-date", T.DATE)
+
+    def test_any_passthrough(self):
+        obj = object()
+        assert T.coerce(obj, T.ANY) is obj
+
+
+class TestInterval:
+    def test_units(self):
+        assert T.Interval.of(2, "year") == T.Interval(months=24)
+        assert T.Interval.of(3, "months") == T.Interval(months=3)
+        assert T.Interval.of(10, "day") == T.Interval(days=10)
+        assert T.Interval.of(2, "week") == T.Interval(days=14)
+
+    def test_unknown_unit(self):
+        with pytest.raises(InvalidParameterError):
+            T.Interval.of(1, "fortnight")
+
+    def test_add_months_simple(self):
+        d = dt.date(1995, 1, 15)
+        assert T.Interval.of(10, "month").add_to(d) == dt.date(1995, 11, 15)
+
+    def test_add_months_year_rollover(self):
+        d = dt.date(1995, 11, 1)
+        assert T.Interval.of(3, "month").add_to(d) == dt.date(1996, 2, 1)
+
+    def test_month_end_clamping(self):
+        assert T.Interval.of(1, "month").add_to(dt.date(2001, 1, 31)) == (
+            dt.date(2001, 2, 28)
+        )
+        assert T.Interval.of(1, "month").add_to(dt.date(2000, 1, 31)) == (
+            dt.date(2000, 2, 29)  # leap year
+        )
+
+    def test_days(self):
+        assert T.Interval.of(10, "day").add_to(dt.date(2000, 12, 25)) == (
+            dt.date(2001, 1, 4)
+        )
+
+    def test_negated(self):
+        iv = T.Interval.of(3, "month").negated()
+        assert iv.add_to(dt.date(1995, 4, 1)) == dt.date(1995, 1, 1)
+
+
+class TestPythonTypeOf:
+    @pytest.mark.parametrize("value,expected", [
+        (None, None), (True, T.BOOL), (1, T.INT), (1.5, T.FLOAT),
+        ("s", T.TEXT), (dt.date(2000, 1, 1), T.DATE), ([], T.ANY),
+    ])
+    def test_inference(self, value, expected):
+        assert T.python_type_of(value) == expected

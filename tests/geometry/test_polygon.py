@@ -1,0 +1,41 @@
+"""Tests for the ST_Polygon result type."""
+
+import pytest
+
+from repro.geometry.polygon import Polygon
+
+
+class TestPolygon:
+    def test_enclosing_square(self):
+        poly = Polygon.enclosing([(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)])
+        assert poly.area() == pytest.approx(4.0)
+        assert poly.perimeter() == pytest.approx(8.0)
+
+    def test_contains(self):
+        poly = Polygon.enclosing([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert poly.contains((2, 2))
+        assert poly.contains((0, 0))
+        assert not poly.contains((5, 5))
+
+    def test_degenerate_point(self):
+        poly = Polygon.enclosing([(3, 3)])
+        assert poly.area() == 0.0
+        assert poly.perimeter() == 0.0
+        assert poly.contains((3, 3))
+        assert not poly.contains((3, 4))
+
+    def test_degenerate_segment(self):
+        poly = Polygon.enclosing([(0, 0), (2, 0)])
+        assert poly.area() == 0.0
+        assert poly.perimeter() == pytest.approx(2.0)
+        assert poly.contains((1, 0))
+
+    def test_equality_and_hash(self):
+        a = Polygon.enclosing([(0, 0), (1, 0), (0, 1)])
+        b = Polygon.enclosing([(0, 0), (1, 0), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_triangle_area(self):
+        poly = Polygon.enclosing([(0, 0), (4, 0), (0, 3)])
+        assert poly.area() == pytest.approx(6.0)

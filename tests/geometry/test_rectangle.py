@@ -1,0 +1,155 @@
+"""Unit tests for Rect and the ε-All rectangle (paper Definition 5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.rectangle import Rect, eps_all_rect
+
+coord = st.floats(-100, 100, allow_nan=False)
+point2 = st.tuples(coord, coord)
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point((2.0, 3.0))
+        assert r.lo == r.hi == (2.0, 3.0)
+        assert r.area() == 0.0
+        assert not r.is_empty()
+
+    def test_from_points_bounds_all(self):
+        r = Rect.from_points([(1, 5), (3, 2), (-1, 4)])
+        assert r.lo == (-1.0, 2.0)
+        assert r.hi == (3.0, 5.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Rect((0, 0), (1, 1, 1))
+
+    def test_eps_box_sides(self):
+        r = Rect.eps_box((5, 5), 2)
+        assert r.lo == (3.0, 3.0)
+        assert r.hi == (7.0, 7.0)
+
+    def test_three_dimensional(self):
+        r = Rect.eps_box((1, 2, 3), 1)
+        assert r.lo == (0.0, 1.0, 2.0)
+        assert r.hi == (2.0, 3.0, 4.0)
+        assert r.contains_point((1.5, 2.5, 3.5))
+        assert not r.contains_point((1.5, 2.5, 4.5))
+
+
+class TestPredicates:
+    def test_contains_point_boundaries_closed(self):
+        r = Rect((0, 0), (2, 2))
+        assert r.contains_point((0, 0))
+        assert r.contains_point((2, 2))
+        assert r.contains_point((1, 1))
+        assert not r.contains_point((2.0001, 1))
+
+    def test_intersects_touching_edges(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 1), (2, 2))
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1.01, 0), (2, 1))
+        assert not a.intersects(b)
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (10, 10))
+        inner = Rect((2, 2), (3, 3))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_empty_rect(self):
+        r = Rect((2, 0), (1, 5))
+        assert r.is_empty()
+        assert r.area() == 0.0
+
+
+class TestCombinators:
+    def test_union_covers_both(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, -1), (3, 0.5))
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+        assert u.lo == (0.0, -1.0) and u.hi == (3.0, 1.0)
+
+    def test_intersection_shrinks(self):
+        a = Rect((0, 0), (4, 4))
+        b = Rect((2, 2), (6, 6))
+        i = a.intersection(b)
+        assert i.lo == (2.0, 2.0) and i.hi == (4.0, 4.0)
+
+    def test_intersection_disjoint_is_empty(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((5, 5), (6, 6))
+        assert a.intersection(b).is_empty()
+
+    def test_extend_point(self):
+        r = Rect((0, 0), (1, 1)).extend_point((5, -1))
+        assert r.lo == (0.0, -1.0) and r.hi == (5.0, 1.0)
+
+    def test_enlargement_zero_when_contained(self):
+        outer = Rect((0, 0), (10, 10))
+        inner = Rect((1, 1), (2, 2))
+        assert outer.enlargement(inner) == 0.0
+        assert inner.enlargement(outer) == pytest.approx(99.0)
+
+    def test_measures(self):
+        r = Rect((0, 0), (2, 3))
+        assert r.area() == 6.0
+        assert r.margin() == 5.0
+        assert r.center() == (1.0, 1.5)
+
+
+class TestEpsAllRect:
+    def test_single_point(self):
+        r = eps_all_rect([(5, 5)], 2)
+        assert r == Rect.eps_box((5, 5), 2)
+
+    def test_shrinks_with_members(self):
+        # paper Figure 5d: after inserting a2 the rect is the intersection
+        r1 = eps_all_rect([(2, 3)], 2)
+        r2 = eps_all_rect([(2, 3), (3, 4)], 2)
+        assert r1.contains_rect(r2)
+        assert r2 == Rect((1, 2), (4, 5))
+
+    def test_empty_input(self):
+        assert eps_all_rect([], 1) is None
+
+    def test_spread_beyond_2eps_is_empty(self):
+        r = eps_all_rect([(0, 0), (5, 0)], 2)
+        assert r is not None and r.is_empty()
+
+    @given(st.lists(point2, min_size=1, max_size=8),
+           st.floats(0.1, 5, allow_nan=False))
+    def test_linf_invariant(self, points, eps):
+        """A point is in the ε-All rect iff it is within L∞ ε of all members
+        (the Definition 5 invariant)."""
+        rect = eps_all_rect(points, eps)
+        probes = [(0.0, 0.0), (1.0, 1.0), points[0],
+                  (points[0][0] + eps, points[0][1])]
+        for probe in probes:
+            inside = rect.contains_point(probe)
+            within_all = all(
+                max(abs(probe[0] - p[0]), abs(probe[1] - p[1])) <= eps + 1e-9
+                for p in points
+            )
+            if inside:
+                assert within_all
+            # tolerance-free converse: strictly within => inside
+            strictly_within = all(
+                max(abs(probe[0] - p[0]), abs(probe[1] - p[1])) < eps - 1e-9
+                for p in points
+            )
+            if strictly_within:
+                assert inside

@@ -1,0 +1,127 @@
+"""B+tree unit and property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.index.btree import BPlusTree
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BPlusTree(order=3)
+
+    def test_empty(self):
+        t = BPlusTree()
+        assert len(t) == 0
+        assert t.search(5) == []
+        assert list(t.range()) == []
+        with pytest.raises(KeyError):
+            t.min_key()
+        with pytest.raises(KeyError):
+            t.max_key()
+
+    def test_insert_search(self):
+        t = BPlusTree(order=4)
+        for i in [5, 3, 8, 1, 9]:
+            t.insert(i, f"v{i}")
+        assert t.search(8) == ["v8"]
+        assert t.search(7) == []
+        assert len(t) == 5
+        assert t.min_key() == 1 and t.max_key() == 9
+
+    def test_duplicates_all_returned(self):
+        t = BPlusTree(order=4)
+        for i in range(10):
+            t.insert(42, i)
+        t.insert(41, "before")
+        t.insert(43, "after")
+        assert sorted(t.search(42)) == list(range(10))
+
+    def test_height_grows_logarithmically(self):
+        t = BPlusTree(order=4)
+        for i in range(500):
+            t.insert(i, i)
+        assert 3 <= t.height() <= 8
+        t.check_invariants()
+
+    def test_string_keys(self):
+        t = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "date", "cherry"]:
+            t.insert(word, word.upper())
+        assert list(t.range("b", "e")) == ["CHERRY", "DATE"]
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        t = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even numbers 0..98
+            t.insert(i, i)
+        return t
+
+    def test_closed_range(self, tree):
+        assert list(tree.range(10, 20)) == [10, 12, 14, 16, 18, 20]
+
+    def test_open_boundaries(self, tree):
+        assert list(tree.range(10, 20, include_low=False,
+                               include_high=False)) == [12, 14, 16, 18]
+
+    def test_unbounded_low(self, tree):
+        assert list(tree.range(None, 6)) == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, tree):
+        assert list(tree.range(94)) == [94, 96, 98]
+
+    def test_full_range_sorted(self, tree):
+        assert list(tree.range()) == list(range(0, 100, 2))
+
+    def test_missing_endpoints(self, tree):
+        # odd endpoints are absent from the tree
+        assert list(tree.range(9, 15)) == [10, 12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(13, 13)) == []
+        assert list(tree.range(200, 300)) == []
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(keys=st.lists(st.integers(-1000, 1000), max_size=300),
+           order=st.sampled_from([4, 5, 8, 32]))
+    def test_items_sorted_and_complete(self, keys, order):
+        t = BPlusTree(order=order)
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+        t.check_invariants()
+        got_keys = [k for k, _ in t.items()]
+        assert got_keys == sorted(keys)
+        assert sorted(v for _, v in t.items()) == list(range(len(keys)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(keys=st.lists(st.integers(0, 100), max_size=200),
+           low=st.integers(0, 100), high=st.integers(0, 100))
+    def test_range_matches_filter(self, keys, low, high):
+        t = BPlusTree(order=5)
+        for i, k in enumerate(keys):
+            t.insert(k, (k, i))
+        got = sorted(t.range(low, high))
+        want = sorted((k, i) for i, k in enumerate(keys) if low <= k <= high)
+        assert got == want
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_large(self, seed):
+        rng = random.Random(seed)
+        t = BPlusTree(order=8)
+        keys = [rng.randrange(500) for _ in range(3000)]
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+        t.check_invariants()
+        probe = rng.randrange(500)
+        assert sorted(t.search(probe)) == sorted(
+            i for i, k in enumerate(keys) if k == probe
+        )

@@ -1,0 +1,84 @@
+"""Uniform grid index tests."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+
+class TestGridIndex:
+    def test_invalid_cell_size(self):
+        with pytest.raises(InvalidParameterError):
+            GridIndex(0)
+        with pytest.raises(InvalidParameterError):
+            GridIndex(-1)
+
+    def test_insert_search(self):
+        g = GridIndex(1.0)
+        g.insert((0.5, 0.5), "a")
+        g.insert((5.5, 5.5), "b")
+        assert g.search(Rect((0, 0), (1, 1))) == ["a"]
+        assert sorted(g.search(Rect((0, 0), (10, 10)))) == ["a", "b"]
+        assert len(g) == 2
+
+    def test_boundaries_inclusive(self):
+        g = GridIndex(1.0)
+        g.insert((2.0, 3.0), "edge")
+        assert g.search(Rect((0, 0), (2, 3))) == ["edge"]
+        assert g.search(Rect((2, 3), (4, 4))) == ["edge"]
+
+    def test_negative_coordinates(self):
+        g = GridIndex(1.0)
+        g.insert((-1.5, -2.5), "neg")
+        assert g.search(Rect((-2, -3), (-1, -2))) == ["neg"]
+
+    def test_delete(self):
+        g = GridIndex(1.0)
+        g.insert((1, 1), "x")
+        assert g.delete((1, 1), "x")
+        assert not g.delete((1, 1), "x")
+        assert len(g) == 0
+        assert g.search(Rect((0, 0), (2, 2))) == []
+
+    def test_delete_wrong_item(self):
+        g = GridIndex(1.0)
+        g.insert((1, 1), "x")
+        assert not g.delete((1, 1), "y")
+        assert len(g) == 1
+
+    def test_three_dimensional(self):
+        g = GridIndex(1.0)
+        g.insert((1, 1, 1), "a")
+        g.insert((4, 4, 4), "b")
+        assert g.search(Rect((0, 0, 0), (2, 2, 2))) == ["a"]
+
+    def test_items(self):
+        g = GridIndex(2.0)
+        for i in range(10):
+            g.insert((i, i), i)
+        assert sorted(item for _, item in g.items()) == list(range(10))
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_fuzz_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        g = GridIndex(0.7)
+        live = []
+        for i in range(300):
+            if live and rng.random() < 0.3:
+                pt, item = live.pop(rng.randrange(len(live)))
+                assert g.delete(pt, item)
+            else:
+                pt = (rng.uniform(-20, 20), rng.uniform(-20, 20))
+                g.insert(pt, i)
+                live.append((pt, i))
+            if i % 50 == 0:
+                w = Rect((rng.uniform(-20, 10), rng.uniform(-20, 10)),
+                         (rng.uniform(10, 20), rng.uniform(10, 20)))
+                got = sorted(g.search(w))
+                want = sorted(
+                    item for pt, item in live if w.contains_point(pt)
+                )
+                assert got == want

@@ -1,0 +1,164 @@
+"""R-tree unit tests and randomized oracle checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+
+
+def make_rect(x, y, w=0.0, h=0.0):
+    return Rect((x, y), (x + w, y + h))
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        t = RTree()
+        assert len(t) == 0
+        assert t.search(make_rect(0, 0, 100, 100)) == []
+
+    def test_insert_and_search(self):
+        t = RTree()
+        t.insert(make_rect(1, 1), "a")
+        t.insert(make_rect(5, 5), "b")
+        assert sorted(t.search(make_rect(0, 0, 2, 2))) == ["a"]
+        assert sorted(t.search(make_rect(0, 0, 10, 10))) == ["a", "b"]
+        assert len(t) == 2
+
+    def test_search_boundary_inclusive(self):
+        t = RTree()
+        t.insert(make_rect(2, 2), "edge")
+        assert t.search(make_rect(0, 0, 2, 2)) == ["edge"]
+
+    def test_duplicate_entries_allowed(self):
+        t = RTree()
+        r = make_rect(1, 1)
+        t.insert(r, "x")
+        t.insert(r, "x")
+        assert len(t) == 2
+        assert t.search(r) == ["x", "x"]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=3)
+        with pytest.raises(InvalidParameterError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_height_grows(self):
+        t = RTree(max_entries=4)
+        assert t.height() == 1
+        for i in range(50):
+            t.insert(make_rect(i, i), i)
+        assert t.height() >= 3
+        t.check_invariants()
+
+    def test_items_iterates_everything(self):
+        t = RTree(max_entries=4)
+        for i in range(25):
+            t.insert(make_rect(i, 0), i)
+        assert sorted(item for _, item in t.items()) == list(range(25))
+
+
+class TestDelete:
+    def test_delete_present(self):
+        t = RTree()
+        r = make_rect(3, 3)
+        t.insert(r, "x")
+        assert t.delete(r, "x")
+        assert len(t) == 0
+        assert t.search(make_rect(0, 0, 10, 10)) == []
+
+    def test_delete_absent_returns_false(self):
+        t = RTree()
+        t.insert(make_rect(1, 1), "x")
+        assert not t.delete(make_rect(2, 2), "x")
+        assert not t.delete(make_rect(1, 1), "y")
+        assert len(t) == 1
+
+    def test_delete_shrinks_tree(self):
+        t = RTree(max_entries=4)
+        rects = [(make_rect(i, i), i) for i in range(40)]
+        for r, i in rects:
+            t.insert(r, i)
+        for r, i in rects[:36]:
+            assert t.delete(r, i)
+        t.check_invariants()
+        assert sorted(t.search(make_rect(0, 0, 100, 100))) == [36, 37, 38, 39]
+
+    def test_update_moves_entry(self):
+        t = RTree()
+        old = make_rect(1, 1)
+        new = make_rect(50, 50)
+        t.insert(old, "g")
+        t.update(old, new, "g")
+        assert t.search(make_rect(0, 0, 5, 5)) == []
+        assert t.search(make_rect(49, 49, 2, 2)) == ["g"]
+        assert len(t) == 1
+
+    def test_update_missing_raises(self):
+        t = RTree()
+        with pytest.raises(KeyError):
+            t.update(make_rect(0, 0), make_rect(1, 1), "missing")
+
+    def test_update_same_rect_noop(self):
+        t = RTree()
+        r = make_rect(1, 1)
+        t.insert(r, "a")
+        t.update(r, r, "a")
+        assert len(t) == 1
+
+
+class TestRandomizedOracle:
+    @pytest.mark.parametrize("max_entries", [4, 6, 10])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fuzz_against_brute_force(self, max_entries, seed):
+        rng = random.Random(seed)
+        t = RTree(max_entries=max_entries)
+        live = []
+        for i in range(400):
+            if live and rng.random() < 0.4:
+                rect, item = live.pop(rng.randrange(len(live)))
+                assert t.delete(rect, item)
+            else:
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                r = make_rect(x, y, rng.uniform(0, 8), rng.uniform(0, 8))
+                t.insert(r, i)
+                live.append((r, i))
+            if i % 40 == 0:
+                t.check_invariants()
+                window = make_rect(
+                    rng.uniform(0, 80), rng.uniform(0, 80), 25, 25
+                )
+                got = sorted(t.search(window))
+                want = sorted(
+                    item for rect, item in live if rect.intersects(window)
+                )
+                assert got == want
+        assert len(t) == len(live)
+        t.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50, allow_nan=False),
+                      st.floats(0, 50, allow_nan=False)),
+            min_size=1, max_size=60,
+        ),
+        st.tuples(st.floats(0, 40, allow_nan=False),
+                  st.floats(0, 40, allow_nan=False)),
+    )
+    def test_point_window_query_property(self, points, corner):
+        t = RTree(max_entries=5)
+        for i, (x, y) in enumerate(points):
+            t.insert(make_rect(x, y), i)
+        window = make_rect(corner[0], corner[1], 10, 10)
+        got = sorted(t.search(window))
+        want = sorted(
+            i for i, (x, y) in enumerate(points)
+            if window.contains_point((x, y))
+        )
+        assert got == want

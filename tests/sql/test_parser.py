@@ -1,0 +1,273 @@
+"""Parser tests: statements, expressions, and the similarity grammar."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.parser import parse, parse_one
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse_one(
+            "CREATE TABLE t (a int, b varchar, c decimal(10, 2), d date)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert [(c.name, c.type_name) for c in stmt.columns] == [
+            ("a", "int"), ("b", "varchar"), ("c", "decimal"), ("d", "date"),
+        ]
+
+    def test_create_if_not_exists(self):
+        stmt = parse_one("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert stmt.if_not_exists
+
+    def test_drop_table(self):
+        stmt = parse_one("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTable) and stmt.if_exists
+
+    def test_insert_multi_row(self):
+        stmt = parse_one("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, ast.Insert)
+        assert len(stmt.rows) == 2
+        assert stmt.columns is None
+
+    def test_insert_with_columns(self):
+        stmt = parse_one("INSERT INTO t (b, a) VALUES (1, 2)")
+        assert stmt.columns == ["b", "a"]
+
+    def test_multiple_statements(self):
+        stmts = parse("CREATE TABLE t (a int); INSERT INTO t VALUES (1);")
+        assert len(stmts) == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("EXPLODE TABLE t")
+
+
+class TestSelectShape:
+    def test_minimal(self):
+        s = parse_one("SELECT 1")
+        assert isinstance(s, ast.Select)
+        assert not s.from_items
+        assert isinstance(s.items[0].expr, ast.Literal)
+
+    def test_star(self):
+        s = parse_one("SELECT * FROM t")
+        assert isinstance(s.items[0].expr, ast.Star)
+
+    def test_aliases(self):
+        s = parse_one("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in s.items] == ["x", "y", None]
+        assert s.items[2].output_name(3) == "c"
+
+    def test_from_alias(self):
+        s = parse_one("SELECT * FROM mytable AS m")
+        assert s.from_items[0].source.alias == "m"
+        s = parse_one("SELECT * FROM mytable m")
+        assert s.from_items[0].source.alias == "m"
+
+    def test_subquery_in_from(self):
+        s = parse_one("SELECT * FROM (SELECT a FROM t) AS sub")
+        assert isinstance(s.from_items[0].source, ast.SubquerySource)
+        assert s.from_items[0].source.alias == "sub"
+
+    def test_comma_join_and_explicit_join(self):
+        s = parse_one(
+            "SELECT * FROM a, b JOIN c ON a.x = c.x WHERE a.x = b.x"
+        )
+        assert len(s.from_items) == 3
+        assert s.from_items[2].join_type == "inner"
+        assert s.from_items[2].condition is not None
+
+    def test_group_having_order_limit(self):
+        s = parse_one(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2 "
+            "ORDER BY a DESC, 2 LIMIT 10"
+        )
+        assert len(s.group_by) == 1
+        assert s.having is not None
+        assert [o.ascending for o in s.order_by] == [False, True]
+        assert s.limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT 1 LIMIT 2.5")
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        s = parse_one("SELECT 1 + 2 * 3")
+        expr = s.items[0].expr
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_precedence_bool(self):
+        s = parse_one("SELECT a OR b AND NOT c")
+        expr = s.items[0].expr
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+        assert isinstance(expr.right.right, ast.UnaryOp)
+
+    def test_parens_override(self):
+        s = parse_one("SELECT (1 + 2) * 3")
+        assert s.items[0].expr.op == "*"
+
+    def test_comparisons_chain(self):
+        s = parse_one("SELECT a WHERE b >= 1 AND c <> 2")
+        assert s.where.op == "and"
+
+    def test_between(self):
+        s = parse_one("SELECT 1 WHERE x BETWEEN 1 AND 10")
+        assert isinstance(s.where, ast.Between)
+        s = parse_one("SELECT 1 WHERE x NOT BETWEEN 1 AND 10")
+        assert s.where.negated
+
+    def test_like(self):
+        s = parse_one("SELECT 1 WHERE name LIKE '%green%'")
+        assert isinstance(s.where, ast.Like)
+        with pytest.raises(ParseError):
+            parse_one("SELECT 1 WHERE name LIKE 5")
+
+    def test_in_list(self):
+        s = parse_one("SELECT 1 WHERE x IN (1, 2, 3)")
+        assert isinstance(s.where, ast.InList)
+        assert len(s.where.items) == 3
+
+    def test_in_subquery(self):
+        s = parse_one("SELECT 1 WHERE x IN (SELECT y FROM t)")
+        assert isinstance(s.where, ast.InSubquery)
+        s = parse_one("SELECT 1 WHERE x NOT IN (SELECT y FROM t)")
+        assert s.where.negated
+
+    def test_is_null(self):
+        s = parse_one("SELECT 1 WHERE x IS NULL")
+        assert isinstance(s.where, ast.IsNull) and not s.where.negated
+        s = parse_one("SELECT 1 WHERE x IS NOT NULL")
+        assert s.where.negated
+
+    def test_date_literal(self):
+        s = parse_one("SELECT date '1995-01-01'")
+        assert s.items[0].expr.value == dt.date(1995, 1, 1)
+        with pytest.raises(ParseError):
+            parse_one("SELECT date 'tomorrow'")
+
+    def test_interval_literal(self):
+        s = parse_one("SELECT date '1995-01-01' + interval '10' month")
+        expr = s.items[0].expr
+        assert isinstance(expr.right, ast.IntervalLiteral)
+        assert expr.right.interval.months == 10
+
+    def test_qualified_column(self):
+        s = parse_one("SELECT t.a FROM t")
+        ref = s.items[0].expr
+        assert isinstance(ref, ast.ColumnRef)
+        assert (ref.qualifier, ref.name) == ("t", "a")
+
+    def test_function_vs_aggregate(self):
+        s = parse_one("SELECT year(d), sum(x) FROM t")
+        assert isinstance(s.items[0].expr, ast.FuncCall)
+        assert isinstance(s.items[1].expr, ast.AggCall)
+
+    def test_count_star(self):
+        s = parse_one("SELECT count(*) FROM t")
+        agg = s.items[0].expr
+        assert isinstance(agg, ast.AggCall) and agg.star
+
+    def test_count_distinct(self):
+        s = parse_one("SELECT count(DISTINCT a) FROM t")
+        assert s.items[0].expr.distinct
+
+    def test_unary_minus(self):
+        s = parse_one("SELECT -x")
+        assert isinstance(s.items[0].expr, ast.UnaryOp)
+
+    def test_boolean_and_null_literals(self):
+        s = parse_one("SELECT true, false, null")
+        assert [i.expr.value for i in s.items] == [True, False, None]
+
+
+class TestSimilarityGrammar:
+    def test_distance_to_all_full(self):
+        s = parse_one(
+            "SELECT count(*) FROM t GROUP BY x, y "
+            "DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP FORM-NEW-GROUP"
+        )
+        spec = s.similarity
+        assert spec.mode == "all"
+        assert spec.metric == "linf"
+        assert spec.on_overlap == "form-new-group"
+        assert spec.eps.value == 3
+
+    def test_distance_to_any(self):
+        s = parse_one(
+            "SELECT count(*) FROM t GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 0.5"
+        )
+        assert s.similarity.mode == "any"
+        assert s.similarity.metric == "l2"
+        assert s.similarity.on_overlap is None
+
+    def test_default_metric_is_l2(self):
+        s = parse_one("SELECT count(*) FROM t GROUP BY x, y "
+                      "DISTANCE-TO-ALL WITHIN 1")
+        assert s.similarity.metric == "l2"
+
+    def test_default_overlap_is_join_any(self):
+        s = parse_one("SELECT count(*) FROM t GROUP BY x, y "
+                      "DISTANCE-TO-ALL L2 WITHIN 1")
+        assert s.similarity.on_overlap == "join-any"
+
+    def test_table2_variant_using(self):
+        s = parse_one(
+            "SELECT count(*) FROM t GROUP BY a, b "
+            "DISTANCE-ALL WITHIN 0.2 USING LTWO ON OVERLAP ELIMINATE"
+        )
+        assert s.similarity.mode == "all"
+        assert s.similarity.metric == "l2"
+        assert s.similarity.on_overlap == "eliminate"
+
+    def test_on_overlap_spellings(self):
+        for clause, canon in [("JOIN-ANY", "join-any"),
+                              ("ELIMINATE", "eliminate"),
+                              ("FORM-NEW-GROUP", "form-new-group"),
+                              ("FORM-NEW", "form-new-group")]:
+            s = parse_one(
+                f"SELECT count(*) FROM t GROUP BY x, y "
+                f"DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP {clause}"
+            )
+            assert s.similarity.on_overlap == canon
+
+    def test_any_rejects_overlap_clause(self):
+        with pytest.raises(ParseError):
+            parse_one(
+                "SELECT count(*) FROM t GROUP BY x, y "
+                "DISTANCE-TO-ANY L2 WITHIN 1 ON-OVERLAP ELIMINATE"
+            )
+
+    def test_bad_overlap_clause(self):
+        with pytest.raises(ParseError):
+            parse_one(
+                "SELECT count(*) FROM t GROUP BY x, y "
+                "DISTANCE-TO-ALL L2 WITHIN 1 ON-OVERLAP DISCARD"
+            )
+
+    def test_eps_expression(self):
+        s = parse_one("SELECT count(*) FROM t GROUP BY x, y "
+                      "DISTANCE-TO-ALL L2 WITHIN 0.1 * 2")
+        assert isinstance(s.similarity.eps, ast.BinaryOp)
+
+    def test_group_by_without_similarity_unaffected(self):
+        s = parse_one("SELECT a, count(*) FROM t GROUP BY a")
+        assert s.similarity is None
+
+    def test_subtraction_in_group_expr_not_confused(self):
+        # "a - b" is arithmetic; DISTANCE only starts the similarity clause
+        s = parse_one("SELECT count(*) FROM t GROUP BY a - b, c "
+                      "DISTANCE-TO-ANY L2 WITHIN 1")
+        assert isinstance(s.group_by[0], ast.BinaryOp)
+        assert s.similarity is not None

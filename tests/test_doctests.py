@@ -1,0 +1,36 @@
+"""Run the executable examples embedded in docstrings.
+
+Several public modules carry doctest examples (the quickstart snippets of
+the README mirror them); this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.bench.quality
+import repro.core.api
+import repro.core.around
+import repro.core.distance
+import repro.core.predicate
+import repro.core.sgb_1d
+import repro.engine.database
+
+MODULES = [
+    repro.core.api,
+    repro.core.around,
+    repro.core.distance,
+    repro.core.predicate,
+    repro.core.sgb_1d,
+    repro.engine.database,
+    repro.bench.quality,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

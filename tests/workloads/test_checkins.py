@@ -1,0 +1,93 @@
+"""Synthetic check-in dataset tests."""
+
+import statistics
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import InvalidParameterError
+from repro.workloads.checkins import (
+    LAT_RANGE,
+    LON_RANGE,
+    CheckinDataset,
+    brightkite,
+    gowalla,
+)
+
+
+class TestCheckinDataset:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CheckinDataset(0)
+        with pytest.raises(InvalidParameterError):
+            CheckinDataset(10, noise_frac=1.5)
+
+    def test_exact_size(self):
+        data = CheckinDataset(500, seed=1)
+        assert len(data) == 500
+        assert len(data.points()) == 500
+
+    def test_deterministic(self):
+        assert CheckinDataset(200, seed=3).rows == (
+            CheckinDataset(200, seed=3).rows
+        )
+        assert CheckinDataset(200, seed=3).rows != (
+            CheckinDataset(200, seed=4).rows
+        )
+
+    def test_rows_shape(self):
+        for user_id, lat, lon in CheckinDataset(100, seed=2).rows:
+            assert isinstance(user_id, int)
+            assert isinstance(lat, float) and isinstance(lon, float)
+
+    def test_user_counts_long_tailed(self):
+        data = CheckinDataset(2000, n_users=100, seed=5)
+        counts = {}
+        for uid, _, _ in data.rows:
+            counts[uid] = counts.get(uid, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        # the head user checks in far more than the median user
+        assert values[0] >= 5 * statistics.median(values)
+
+    def test_spatial_clustering_present(self):
+        """Check-ins must be far more concentrated than uniform noise:
+        the std of coordinates within the densest cell is much smaller
+        than the global spread."""
+        data = CheckinDataset(2000, n_cities=10, city_std=0.5,
+                              noise_frac=0.0, seed=6)
+        pts = data.points()
+        # bucket by 5-degree cells, find the densest
+        cells = {}
+        for lat, lon in pts:
+            cells.setdefault((lat // 5, lon // 5), []).append((lat, lon))
+        densest = max(cells.values(), key=len)
+        assert len(densest) > len(pts) / 50  # real concentration
+        lat_spread = statistics.pstdev(p[0] for p in pts)
+        dens_spread = statistics.pstdev(p[0] for p in densest)
+        assert dens_spread < lat_spread / 3
+
+    def test_populate(self):
+        db = Database()
+        CheckinDataset(50, seed=7).populate(db)
+        assert db.query("SELECT count(*) FROM checkins").scalar() == 50
+        res = db.query(
+            "SELECT count(*) FROM checkins GROUP BY latitude, longitude "
+            "DISTANCE-TO-ANY L2 WITHIN 1.0"
+        )
+        assert sum(r[0] for r in res) == 50
+
+
+class TestPresets:
+    def test_presets_differ(self):
+        b = brightkite(300)
+        g = gowalla(300)
+        assert b.name == "brightkite" and g.name == "gowalla"
+        assert b.points() != g.points()
+
+    def test_bounding_box(self):
+        for maker in (brightkite, gowalla):
+            data = maker(400)
+            for lat, lon in data.points():
+                # Gaussian tails may exceed the box slightly; allow slack
+                assert LAT_RANGE[0] - 10 <= lat <= LAT_RANGE[1] + 10
+                assert LON_RANGE[0] - 10 <= lon <= LON_RANGE[1] + 10

@@ -1,0 +1,118 @@
+"""The Table-2 query catalog: every query parses, plans and runs."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sql.parser import parse_one
+from repro.workloads import queries as Q
+from repro.workloads.tpch import load_tpch
+
+
+@pytest.fixture(scope="module")
+def db():
+    return load_tpch(scale_factor=0.5, tiebreak="first")
+
+
+ALL_QUERIES = [
+    ("gb1", lambda: Q.gb1(quantity_threshold=60)),
+    ("gb2", lambda: Q.gb2()),
+    ("gb3", lambda: Q.gb3()),
+    ("sgb1-join-any", lambda: Q.sgb1(eps=5000, on_overlap="join-any")),
+    ("sgb1-eliminate", lambda: Q.sgb1(eps=5000, on_overlap="eliminate")),
+    ("sgb1-form-new", lambda: Q.sgb1(eps=5000,
+                                     on_overlap="form-new-group")),
+    ("sgb1-linf", lambda: Q.sgb1(eps=5000, metric="linf")),
+    ("sgb2", lambda: Q.sgb2(eps=5000)),
+    ("sgb3", lambda: Q.sgb3(eps=5000)),
+    ("sgb4", lambda: Q.sgb4(eps=5000)),
+    ("sgb5", lambda: Q.sgb5(eps=2000)),
+    ("sgb6", lambda: Q.sgb6(eps=2000)),
+]
+
+
+class TestCatalogRuns:
+    @pytest.mark.parametrize("name,make", ALL_QUERIES)
+    def test_parses(self, name, make):
+        parse_one(make())
+
+    @pytest.mark.parametrize("name,make", ALL_QUERIES)
+    def test_executes(self, db, name, make):
+        result = db.execute(make())
+        assert result.columns
+        # GB3 is a LIMIT 1 top-supplier query; everything else may be empty
+        # only if the thresholds filtered everything (they should not).
+        assert len(result) >= 1
+
+
+class TestQuerySemantics:
+    def test_gb1_quantity_threshold_filters(self, db):
+        loose = db.execute(Q.gb1(quantity_threshold=1))
+        tight = db.execute(Q.gb1(quantity_threshold=10_000))
+        assert len(tight) == 0
+        assert len(loose) >= len(tight)
+
+    def test_gb2_year_column_is_int(self, db):
+        res = db.execute(Q.gb2())
+        years = {row[1] for row in res}
+        assert all(isinstance(y, int) and 1992 <= y <= 1998 for y in years)
+
+    def test_gb3_returns_single_top_supplier(self, db):
+        res = db.execute(Q.gb3())
+        assert len(res) == 1
+        assert res.rows[0][2] > 0  # revenue
+
+    def test_sgb1_group_members_share_similar_attributes(self, db):
+        res = db.execute(Q.sgb1(eps=5000, metric="linf"))
+        for max_ab, min_tp, max_tp, avg_ab, members in res:
+            # L-inf eps bound: spread of tp within a group <= 2*eps is
+            # implied for ANY; for ALL it is <= eps
+            assert max_tp - min_tp <= 5000 + 1e-6
+
+    def test_sgb_eliminate_never_more_members_than_join_any(self, db):
+        join_any = db.execute(Q.sgb1(eps=5000, on_overlap="join-any"))
+        eliminate = db.execute(Q.sgb1(eps=5000, on_overlap="eliminate"))
+        placed_join = sum(len(row[4]) for row in join_any)
+        placed_elim = sum(len(row[4]) for row in eliminate)
+        assert placed_elim <= placed_join
+
+    def test_sgb_form_new_places_everyone(self, db):
+        join_any = db.execute(Q.sgb1(eps=5000, on_overlap="join-any"))
+        form_new = db.execute(Q.sgb1(eps=5000,
+                                     on_overlap="form-new-group"))
+        assert sum(len(r[4]) for r in form_new) == sum(
+            len(r[4]) for r in join_any
+        )
+
+    def test_sgb_any_groups_coarser_than_all(self, db):
+        all_groups = db.execute(Q.sgb3(eps=5000, on_overlap="join-any"))
+        any_groups = db.execute(Q.sgb4(eps=5000))
+        assert len(any_groups) <= len(all_groups)
+
+
+class TestCheckinQueries:
+    def test_checkin_queries_run(self):
+        from repro.workloads.checkins import CheckinDataset
+        from repro.engine.database import Database
+
+        db = Database(tiebreak="first")
+        CheckinDataset(200, seed=3).populate(db)
+        any_res = db.execute(Q.checkin_sgb_any(eps=1.0))
+        all_res = db.execute(Q.checkin_sgb_all(eps=1.0,
+                                               on_overlap="eliminate"))
+        assert sum(r[0] for r in any_res) == 200
+        assert sum(r[0] for r in all_res) <= 200
+
+    def test_section5_queries_parse(self):
+        parse_one(Q.manet_groups(5.0))
+        parse_one(Q.manet_gateways(5.0))
+        parse_one(Q.private_groups(0.5, "join-any"))
+
+
+class TestValidation:
+    def test_bad_overlap(self):
+        with pytest.raises(InvalidParameterError):
+            Q.sgb1(eps=1, on_overlap="discard")
+
+    def test_bad_metric(self):
+        with pytest.raises(InvalidParameterError):
+            Q.sgb2(eps=1, metric="cosine")

@@ -1,0 +1,92 @@
+"""TPC-H-like generator tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import InvalidParameterError
+from repro.workloads.tpch import TPCHGenerator, load_tpch
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TPCHGenerator(scale_factor=0)
+        with pytest.raises(InvalidParameterError):
+            TPCHGenerator(row_scale=0)
+
+    def test_deterministic(self):
+        a = TPCHGenerator(1, seed=5)
+        b = TPCHGenerator(1, seed=5)
+        assert a.tables == b.tables
+        c = TPCHGenerator(1, seed=6)
+        assert c.tables["orders"] != a.tables["orders"]
+
+    def test_cardinality_ratios(self):
+        gen = TPCHGenerator(1)
+        counts = gen.row_counts()
+        assert counts["customer"] == 150
+        assert counts["orders"] == 1500
+        assert counts["supplier"] == 10
+        assert counts["part"] == 200
+        assert counts["partsupp"] == 200 * 4
+        # ~4 lineitems per order, uniform 1..7
+        assert 1500 * 2 <= counts["lineitem"] <= 1500 * 7
+
+    def test_scale_factor_scales_linearly(self):
+        c1 = TPCHGenerator(1).row_counts()
+        c4 = TPCHGenerator(4).row_counts()
+        assert c4["orders"] == 4 * c1["orders"]
+        assert c4["customer"] == 4 * c1["customer"]
+
+    def test_fractional_scale_factor(self):
+        counts = TPCHGenerator(0.5).row_counts()
+        assert counts["customer"] == 75
+
+    def test_referential_integrity(self):
+        gen = TPCHGenerator(1)
+        custkeys = {row[0] for row in gen.tables["customer"]}
+        partkeys = {row[0] for row in gen.tables["part"]}
+        suppkeys = {row[0] for row in gen.tables["supplier"]}
+        orderkeys = set()
+        for ok, ck, total, odate in gen.tables["orders"]:
+            orderkeys.add(ok)
+            assert ck in custkeys
+            assert isinstance(odate, dt.date)
+            assert total > 0
+        ps_pairs = {(pk, sk) for pk, sk, _, _ in gen.tables["partsupp"]}
+        for ok, pk, sk, qty, price, disc, ship, receipt in (
+                gen.tables["lineitem"]):
+            assert ok in orderkeys
+            assert pk in partkeys
+            assert sk in suppkeys
+            assert (pk, sk) in ps_pairs  # supplier actually stocks the part
+            assert 0 <= disc <= 0.10
+            assert receipt > ship
+
+    def test_order_totals_match_lineitems(self):
+        gen = TPCHGenerator(1)
+        totals = {}
+        for ok, _, _, _, price, disc, _, _ in gen.tables["lineitem"]:
+            totals[ok] = totals.get(ok, 0.0) + price * (1 - disc)
+        for ok, _, total, _ in gen.tables["orders"]:
+            assert total == pytest.approx(totals[ok], abs=0.01)
+
+
+class TestPopulate:
+    def test_load_tpch_creates_all_tables(self):
+        db = load_tpch(0.5)
+        names = {t.name for t in db.catalog}
+        assert names == {"nation", "customer", "supplier", "part",
+                         "partsupp", "orders", "lineitem"}
+        assert db.query("SELECT count(*) FROM customer").scalar() == 75
+
+    def test_dates_are_real_dates(self):
+        db = load_tpch(0.5)
+        res = db.query(
+            "SELECT count(*) FROM lineitem "
+            "WHERE l_shipdate >= date '1992-01-01'"
+        )
+        total = db.query("SELECT count(*) FROM lineitem").scalar()
+        assert res.scalar() == total

@@ -1,0 +1,170 @@
+"""End-to-end oracles: Table-2 query answers recomputed by hand in Python
+from the generator's raw tables must match the SQL engine's answers."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.workloads import queries as Q
+from repro.workloads.tpch import TPCHGenerator, load_tpch
+
+SF = 0.5
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return TPCHGenerator(SF)
+
+
+@pytest.fixture(scope="module")
+def db(gen):
+    db = load_tpch(SF, tiebreak="first")
+    return db
+
+
+class TestGB1Oracle:
+    def test_matches_manual_computation(self, gen, db):
+        threshold = 60
+        # manual: per-order quantity sums, filter > threshold
+        qty = defaultdict(float)
+        for ok, _, _, q, *_ in gen.tables["lineitem"]:
+            qty[ok] += q
+        big_orders = {ok for ok, total in qty.items() if total > threshold}
+        cust_of = {ok: ck for ok, ck, _, _ in gen.tables["orders"]}
+        expected_qty = sorted(
+            (qty[ok] for ok in big_orders), reverse=True
+        )[:100]
+        got = db.execute(Q.gb1(quantity_threshold=threshold)).rows
+        assert len(got) == min(100, len(big_orders))
+        # LIMIT ties at the cutoff may pick either row; the quantity
+        # multiset of the top-100 is still uniquely determined
+        got_qty = [q for _, _, q in got]
+        assert got_qty == sorted(got_qty, reverse=True)
+        assert [round(q, 6) for q in got_qty] == [
+            round(q, 6) for q in expected_qty
+        ]
+        # and every reported pair must be consistent with the base data
+        for c, o, q in got:
+            assert cust_of[o] == c
+            assert q == pytest.approx(qty[o])
+
+    def test_every_reported_order_exceeds_threshold(self, db, gen):
+        got = db.execute(Q.gb1(quantity_threshold=60)).rows
+        qty = defaultdict(float)
+        for ok, _, _, q, *_ in gen.tables["lineitem"]:
+            qty[ok] += q
+        for _, ok, total in got:
+            assert total == pytest.approx(qty[ok])
+            assert total > 60
+
+
+class TestGB2Oracle:
+    def test_profit_sums_match(self, gen, db):
+        supplycost = {
+            (pk, sk): cost for pk, sk, cost, _ in gen.tables["partsupp"]
+        }
+        nation_of_supp = {
+            sk: nk for sk, _, _, nk in gen.tables["supplier"]
+        }
+        nation_name = dict(gen.tables["nation"])
+        green_parts = {
+            pk for pk, name, _ in gen.tables["part"] if "green" in name
+        }
+        year_of_order = {
+            ok: d.year for ok, _, _, d in gen.tables["orders"]
+        }
+        expected = defaultdict(float)
+        for ok, pk, sk, qty, price, disc, _, _ in gen.tables["lineitem"]:
+            if pk not in green_parts:
+                continue
+            profit = price * (1 - disc) - supplycost[(pk, sk)] * qty
+            key = (nation_name[nation_of_supp[sk]], year_of_order[ok])
+            expected[key] += profit
+        got = {(n, y): p for n, y, p in db.execute(Q.gb2()).rows}
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+
+class TestGB3Oracle:
+    def test_top_supplier_matches(self, gen, db):
+        import datetime as dt
+
+        lo = dt.date(1995, 1, 1)
+        hi = dt.date(1995, 4, 1)
+        revenue = defaultdict(float)
+        for _, _, sk, _, price, disc, ship, _ in gen.tables["lineitem"]:
+            if lo <= ship < hi:
+                revenue[sk] += price * (1 - disc)
+        best_supp, best_rev = max(
+            revenue.items(), key=lambda kv: (kv[1], -kv[0])
+        )
+        got = db.execute(Q.gb3()).rows
+        assert len(got) == 1
+        assert got[0][0] == best_supp
+        assert got[0][2] == pytest.approx(best_rev)
+
+
+class TestQ1Oracle:
+    def test_pricing_summary_matches(self, gen, db):
+        import datetime as dt
+        from collections import defaultdict
+
+        cutoff = dt.date(1998, 9, 2)
+        acc = defaultdict(lambda: [0.0, 0.0, 0.0, 0.0, 0])
+        for _, _, _, qty, price, disc, ship, _ in gen.tables["lineitem"]:
+            if ship > cutoff:
+                continue
+            bucket = acc[ship.year]
+            bucket[0] += qty
+            bucket[1] += price
+            bucket[2] += price * (1 - disc)
+            bucket[3] += disc
+            bucket[4] += 1
+        got = db.execute(Q.q1())
+        assert [row[0] for row in got] == sorted(acc)
+        for row in got.rows:
+            year, sum_qty, sum_base, sum_disc, avg_qty, avg_price, \
+                avg_disc, count = row
+            e = acc[year]
+            assert sum_qty == pytest.approx(e[0])
+            assert sum_base == pytest.approx(e[1])
+            assert sum_disc == pytest.approx(e[2])
+            assert count == e[4]
+            assert avg_qty == pytest.approx(e[0] / e[4])
+            assert avg_price == pytest.approx(e[1] / e[4])
+            assert avg_disc == pytest.approx(e[3] / e[4])
+
+
+class TestSGBOracles:
+    def test_sgb2_groups_partition_qualifying_customers(self, gen, db):
+        """SGB-Any over (ab, tp): the union of the reported id lists must
+        be exactly the customers that survive the filters."""
+        balance = {ck: ab for ck, _, ab, _ in gen.tables["customer"]}
+        power = defaultdict(float)
+        for _, ck, total, _ in gen.tables["orders"]:
+            if total > 3000:
+                power[ck] += total
+        qualifying = {
+            ck for ck in power
+            if ck in balance and balance[ck] > 100
+        }
+        got = db.execute(Q.sgb2(eps=5000))
+        reported = [ck for row in got for ck in row[4]]
+        assert sorted(reported) == sorted(qualifying)
+
+    def test_sgb1_linf_groups_are_cliques_in_attribute_space(self, gen, db):
+        balance = {ck: ab for ck, _, ab, _ in gen.tables["customer"]}
+        power = defaultdict(float)
+        for _, ck, total, _ in gen.tables["orders"]:
+            if total > 3000:
+                power[ck] += total
+        eps = 5000
+        got = db.execute(Q.sgb1(eps=eps, metric="linf"))
+        for row in got.rows:
+            members = row[4]
+            coords = [(balance[ck], power[ck]) for ck in members]
+            for i, a in enumerate(coords):
+                for b in coords[i + 1:]:
+                    assert max(abs(a[0] - b[0]),
+                               abs(a[1] - b[1])) <= eps + 1e-6
