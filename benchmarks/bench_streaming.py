@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Streaming SGB benchmark: amortized incremental cost vs batch recompute.
+
+For each batch size b the same point stream is ingested two ways:
+
+* **incremental** — one :class:`~repro.streaming.micro_batch.MicroBatcher`
+  over a streaming engine; after every micro-batch the maintained state is
+  already current, so the total cost is just the sum of the per-batch
+  ingest times;
+* **recompute** — the pre-streaming baseline: after every micro-batch,
+  rerun the batch operator over the whole prefix from scratch (what a
+  system without incremental maintenance must do to answer the same
+  "groups so far" query).
+
+Both report amortized seconds per ingested point; the JSON written to
+``BENCH_streaming.json`` also carries the engines' StreamStats counters
+and a per-run equivalence check of the final partitions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick]
+        [--n N] [--eps E] [--batch-sizes 10,100,1000] [--mode any|all|both]
+        [--out BENCH_streaming.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.core.api import sgb_all, sgb_any, sgb_stream  # noqa: E402
+
+
+def _batch_call(mode, prefix, eps, seed):
+    if mode == "any":
+        return sgb_any(prefix, eps)
+    return sgb_all(prefix, eps, tiebreak="first", seed=seed)
+
+
+def run_one(mode: str, points, eps: float, batch_size: int, seed: int = 0):
+    """Time one incremental run and one recompute run at this batch size."""
+    n = len(points)
+    engine_opts = {} if mode == "any" else {"tiebreak": "first", "seed": seed}
+    stream = sgb_stream(mode, eps=eps, batch_size=batch_size, **engine_opts)
+    t0 = time.perf_counter()
+    stream.extend(points)
+    stream.flush()
+    incremental_total = time.perf_counter() - t0
+    snapshot = stream.snapshot()
+
+    recompute_total = 0.0
+    batch_result = None
+    for start in range(0, n, batch_size):
+        prefix = points[: start + batch_size]
+        t0 = time.perf_counter()
+        batch_result = _batch_call(mode, prefix, eps, seed)
+        recompute_total += time.perf_counter() - t0
+
+    assert batch_result is not None
+    equal = snapshot.partition() == batch_result.partition() and (
+        snapshot.eliminated_indices() == batch_result.eliminated_indices()
+    )
+    stats = stream.stats.as_dict()
+    return {
+        "mode": mode,
+        "n": n,
+        "eps": eps,
+        "batch_size": batch_size,
+        "n_batches": len(stream.batches),
+        "n_groups": snapshot.n_groups,
+        "incremental_total_s": incremental_total,
+        "incremental_per_point_s": incremental_total / n,
+        "recompute_total_s": recompute_total,
+        "recompute_per_point_s": recompute_total / n,
+        "speedup": recompute_total / incremental_total
+        if incremental_total > 0
+        else float("inf"),
+        "snapshot_equals_batch": equal,
+        "stats": stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="number of points (default 1500; 300 with --quick)")
+    parser.add_argument("--eps", type=float, default=0.3)
+    parser.add_argument("--batch-sizes", type=str, default=None,
+                        help="comma-separated micro-batch sizes")
+    parser.add_argument("--mode", choices=("any", "all", "both"),
+                        default="both")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: BENCH_streaming.json "
+                             "next to this script's repo root)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (300 if args.quick else 1500)
+    if args.batch_sizes:
+        batch_sizes = [int(s) for s in args.batch_sizes.split(",")]
+    elif args.quick:
+        batch_sizes = [10, 60, n]
+    else:
+        batch_sizes = [10, 150, n]
+    modes = ["any", "all"] if args.mode == "both" else [args.mode]
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+    )
+
+    points = uniform_points(n)
+    results = []
+    all_equal = True
+    for mode in modes:
+        for batch_size in batch_sizes:
+            row = run_one(mode, points, args.eps, batch_size)
+            results.append(row)
+            all_equal = all_equal and row["snapshot_equals_batch"]
+            print(
+                f"[{mode:>3}] b={batch_size:>5}: "
+                f"incremental {row['incremental_per_point_s'] * 1e6:8.1f} "
+                f"us/pt | recompute "
+                f"{row['recompute_per_point_s'] * 1e6:8.1f} us/pt | "
+                f"speedup {row['speedup']:6.1f}x | "
+                f"equal={row['snapshot_equals_batch']}"
+            )
+
+    payload = {
+        "benchmark": "streaming-vs-batch-recompute",
+        "config": {
+            "n": n,
+            "eps": args.eps,
+            "batch_sizes": batch_sizes,
+            "modes": modes,
+            "quick": args.quick,
+        },
+        "results": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not all_equal:
+        print("ERROR: a streaming snapshot diverged from the batch result",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

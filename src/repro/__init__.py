@@ -4,6 +4,8 @@ A from-scratch reproduction of the SGB-All / SGB-Any operators (Tang et al.)
 including the relational-engine substrate they are integrated into:
 
 * :func:`repro.sgb_all` / :func:`repro.sgb_any` — array-level operators;
+* :func:`repro.sgb_stream` / :mod:`repro.streaming` — incremental SGB
+  engines with micro-batch ingestion and batch-equivalent snapshots;
 * :class:`repro.Database` — an embeddable relational engine whose SQL
   dialect includes the paper's ``DISTANCE-TO-ALL`` / ``DISTANCE-TO-ANY``
   GROUP BY extension;
@@ -29,14 +31,23 @@ from repro.core import (
     sgb_around,
     sgb_around_nd,
     sgb_segment,
+    sgb_stream,
 )
 from repro.engine.database import Database
+from repro.streaming import (
+    MicroBatcher,
+    StreamingGroupView,
+    StreamingSGBAll,
+    StreamingSGBAny,
+    StreamStats,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "sgb_all",
     "sgb_any",
+    "sgb_stream",
     "sgb_segment",
     "sgb_around",
     "sgb_around_nd",
@@ -51,5 +62,10 @@ __all__ = [
     "L2",
     "LINF",
     "Database",
+    "StreamingSGBAny",
+    "StreamingSGBAll",
+    "MicroBatcher",
+    "StreamingGroupView",
+    "StreamStats",
     "__version__",
 ]

@@ -1,6 +1,6 @@
 """Core SGB operators: distance metrics, predicates, SGB-All and SGB-Any."""
 
-from repro.core.api import sgb_all, sgb_any
+from repro.core.api import sgb_all, sgb_any, sgb_stream
 from repro.core.around import sgb_around_nd
 from repro.core.distance import L1, L2, LINF, Metric, MinkowskiMetric, resolve_metric
 from repro.core.predicate import SimilarityPredicate
@@ -12,6 +12,7 @@ from repro.core.sgb_any import SGBAnyOperator
 __all__ = [
     "sgb_all",
     "sgb_any",
+    "sgb_stream",
     "sgb_segment",
     "sgb_around",
     "sgb_around_nd",

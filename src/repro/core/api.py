@@ -2,7 +2,10 @@
 
 These are the entry points a data-scientist user calls directly on point
 collections; the SQL engine's SGB executor node is built on the same
-operator classes.
+operator classes.  The functions here also own input validation: a NaN or
+infinite coordinate compares false with everything, so letting one reach a
+grid cell or R-tree rectangle silently corrupts the index — we reject it
+at the door with a typed error instead.
 
 >>> from repro import sgb_any
 >>> res = sgb_any([(1, 1), (1.5, 1.2), (9, 9)], eps=1.0)
@@ -12,14 +15,94 @@ operator classes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+import math
+from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.distance import Metric
 from repro.core.result import GroupingResult
 from repro.core.sgb_all import SGBAllOperator
 from repro.core.sgb_any import SGBAnyOperator
+from repro.errors import (
+    DimensionMismatchError,
+    InvalidCoordinateError,
+    InvalidParameterError,
+)
+
+Point = Tuple[float, ...]
 
 
+# ----------------------------------------------------------------------
+# input validation
+# ----------------------------------------------------------------------
+def check_eps(eps: float, require_positive: bool = False) -> float:
+    """Validate a similarity threshold and return it as a float.
+
+    ``eps`` must be a finite number and non-negative.  The batch operators
+    accept ``eps == 0`` (the equality-grouping degeneracy of plain GROUP
+    BY); callers whose index structures are sized by ε — the streaming
+    engines and the grid strategy — pass ``require_positive=True``.
+    """
+    try:
+        value = float(eps)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"eps must be a number, got {eps!r}") from None
+    if math.isnan(value) or math.isinf(value):
+        raise InvalidParameterError(f"eps must be finite, got {eps!r}")
+    if value < 0:
+        raise InvalidParameterError(f"eps must be non-negative, got {eps!r}")
+    if require_positive and value == 0:
+        raise InvalidParameterError(
+            "eps must be strictly positive for this operation"
+        )
+    return value
+
+
+def validate_point(
+    point: Sequence[float], dim: Optional[int]
+) -> Tuple[Point, int]:
+    """Coerce one point to a float tuple, enforcing finiteness and ``dim``.
+
+    Returns ``(tuple, dim)`` where ``dim`` is established from the first
+    point.  Raises :class:`InvalidCoordinateError` for NaN/±inf
+    coordinates, :class:`DimensionMismatchError` for mixed dimensionality,
+    and :class:`InvalidParameterError` for non-numeric values or empty
+    points.
+    """
+    try:
+        pt = tuple(float(v) for v in point)
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"point coordinates must be numeric, got {point!r}"
+        ) from None
+    for v in pt:
+        if math.isnan(v) or math.isinf(v):
+            raise InvalidCoordinateError(
+                f"point {point!r} has a non-finite coordinate"
+            )
+    if dim is None:
+        dim = len(pt)
+        if dim < 1:
+            raise InvalidParameterError("points must have >= 1 dimension")
+    elif len(pt) != dim:
+        raise DimensionMismatchError(
+            f"point dimension {len(pt)} != {dim}"
+        )
+    return pt, dim
+
+
+def validated_points(
+    points: Iterable[Sequence[float]],
+) -> Iterator[Point]:
+    """Lazily validate a point stream (finite coordinates, uniform dim)."""
+    dim: Optional[int] = None
+    for p in points:
+        pt, dim = validate_point(p, dim)
+        yield pt
+
+
+# ----------------------------------------------------------------------
+# batch entry points
+# ----------------------------------------------------------------------
 def sgb_all(
     points: Iterable[Sequence[float]],
     eps: float,
@@ -39,7 +122,7 @@ def sgb_all(
     point a group label (or ``-1`` when dropped by ``on_overlap="eliminate"``).
     """
     op = SGBAllOperator(
-        eps=eps,
+        eps=check_eps(eps),
         metric=metric,
         on_overlap=on_overlap,
         strategy=strategy,
@@ -49,7 +132,7 @@ def sgb_all(
         rtree_max_entries=rtree_max_entries,
         max_recursion=max_recursion,
     )
-    return op.add_many(points).finalize()
+    return op.add_many(validated_points(points)).finalize()
 
 
 def sgb_any(
@@ -65,9 +148,58 @@ def sgb_any(
     (paper Section 7); the result is independent of input order.
     """
     op = SGBAnyOperator(
-        eps=eps,
+        eps=check_eps(eps),
         metric=metric,
         strategy=strategy,
         rtree_max_entries=rtree_max_entries,
     )
-    return op.add_many(points).finalize()
+    return op.add_many(validated_points(points)).finalize()
+
+
+# ----------------------------------------------------------------------
+# streaming entry point
+# ----------------------------------------------------------------------
+def sgb_stream(
+    mode: str = "any",
+    *,
+    eps: float,
+    metric: Union[str, Metric] = "l2",
+    batch_size: int = 64,
+    points: Optional[Iterable[Sequence[float]]] = None,
+    **engine_options,
+):
+    """Open an incremental SGB stream and return a micro-batching handle.
+
+    The handle (:class:`~repro.streaming.micro_batch.MicroBatcher`) exposes
+    ``insert`` / ``extend`` / ``snapshot`` / ``result`` and records
+    per-batch :class:`~repro.streaming.stats.StreamStats`.  ``mode="any"``
+    maintains connected ε-components (order-independent: every snapshot
+    equals the batch operator on the ingested prefix); ``mode="all"``
+    maintains ε-All clique groups incrementally (snapshot equals the batch
+    operator run on the same prefix in the same order and seed).
+
+    Extra keyword arguments are forwarded to the engine constructor
+    (``index=``, ``rtree_max_entries=``, ``on_overlap=``, ``tiebreak=``,
+    ``seed=``, ...).  When ``points`` is given the rows are ingested
+    immediately.
+
+    >>> stream = sgb_stream("any", eps=1.0, batch_size=2)
+    >>> stream.extend([(0, 0), (0.5, 0), (9, 9)])
+    >>> stream.snapshot().group_sizes()
+    [2, 1]
+    """
+    from repro.streaming import MicroBatcher, StreamingSGBAll, StreamingSGBAny
+
+    key = mode.strip().lower()
+    if key == "any":
+        engine = StreamingSGBAny(eps=eps, metric=metric, **engine_options)
+    elif key == "all":
+        engine = StreamingSGBAll(eps=eps, metric=metric, **engine_options)
+    else:
+        raise InvalidParameterError(
+            f"unknown streaming mode {mode!r}; expected 'any' or 'all'"
+        )
+    batcher = MicroBatcher(engine, batch_size=batch_size)
+    if points is not None:
+        batcher.extend(points)
+    return batcher

@@ -18,7 +18,11 @@ class GroupingResult:
     labels:
         ``labels[i]`` is the group id of input point ``i`` (ids are dense,
         ``0 .. n_groups-1``, in order of group creation) or ``ELIMINATED``
-        (-1) when the point was dropped by the ELIMINATE semantics.
+        (-1) when the point was dropped by the ELIMINATE semantics.  Any
+        negative label is treated as eliminated throughout (matching the
+        engine executor and the quality metrics, which both test
+        ``label < 0``), so eliminated points never contribute to
+        ``n_groups`` or the group-size statistics.
     points:
         The input points, in input order.
     """
@@ -38,18 +42,18 @@ class GroupingResult:
 
     @property
     def n_groups(self) -> int:
-        live = {lb for lb in self.labels if lb != ELIMINATED}
+        live = {lb for lb in self.labels if lb >= 0}
         return len(live)
 
     @property
     def n_eliminated(self) -> int:
-        return sum(1 for lb in self.labels if lb == ELIMINATED)
+        return sum(1 for lb in self.labels if lb < 0)
 
     def groups(self) -> Dict[int, List[int]]:
         """Group id -> member point indices (input order within a group)."""
         out: Dict[int, List[int]] = {}
         for i, lb in enumerate(self.labels):
-            if lb != ELIMINATED:
+            if lb >= 0:
                 out.setdefault(lb, []).append(i)
         return out
 
@@ -66,7 +70,7 @@ class GroupingResult:
         return sorted((len(v) for v in self.groups().values()), reverse=True)
 
     def eliminated_indices(self) -> List[int]:
-        return [i for i, lb in enumerate(self.labels) if lb == ELIMINATED]
+        return [i for i, lb in enumerate(self.labels) if lb < 0]
 
     # ------------------------------------------------------------------
     def relabeled(self) -> "GroupingResult":
@@ -78,7 +82,7 @@ class GroupingResult:
         mapping: Dict[int, int] = {}
         new_labels: List[int] = []
         for lb in self.labels:
-            if lb == ELIMINATED:
+            if lb < 0:
                 new_labels.append(ELIMINATED)
                 continue
             if lb not in mapping:

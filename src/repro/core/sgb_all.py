@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from repro.core.distance import Metric, resolve_metric
 from repro.core.groups import Group, GroupRegistry
 from repro.core.result import ELIMINATED, GroupingResult
-from repro.errors import InvalidParameterError
+from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.geometry.rectangle import Rect
 from repro.index.rtree import RTree
 
@@ -387,7 +387,7 @@ class SGBAllOperator:
                 raise InvalidParameterError("points must have >= 1 dimension")
             self._strategy = self._make_strategy()
         elif len(pt) != self._dim:
-            raise InvalidParameterError(
+            raise DimensionMismatchError(
                 f"point dimension {len(pt)} != {self._dim}"
             )
         pid = len(self._points)

@@ -21,7 +21,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.distance import Metric, resolve_metric
 from repro.core.result import GroupingResult
 from repro.dsu.union_find import UnionFind
-from repro.errors import InvalidParameterError
+from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.geometry.rectangle import Rect
 from repro.index.grid import GridIndex
 from repro.index.rtree import RTree
@@ -197,7 +197,7 @@ class SGBAnyOperator:
             if self._dim < 1:
                 raise InvalidParameterError("points must have >= 1 dimension")
         elif len(pt) != self._dim:
-            raise InvalidParameterError(
+            raise DimensionMismatchError(
                 f"point dimension {len(pt)} != {self._dim}"
             )
         pid = len(self._points)

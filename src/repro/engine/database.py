@@ -21,7 +21,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor.sgb import SGBConfig
 from repro.engine.schema import Schema
 from repro.engine.table import Table
-from repro.errors import PlanningError
+from repro.errors import CatalogError, PlanningError
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
@@ -100,6 +100,7 @@ class Database:
             tiebreak=tiebreak,
             seed=seed,
         )
+        self._stream_views: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # python-level API
@@ -114,6 +115,69 @@ class Database:
 
     def table(self, name: str) -> Table:
         return self.catalog.get(name)
+
+    # ------------------------------------------------------------------
+    # streaming views (INSERT-then-requery without recomputing)
+    # ------------------------------------------------------------------
+    def create_stream_view(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        mode: str = "any",
+        *,
+        eps: float,
+        metric: str = "l2",
+        batch_size: int = 32,
+        **engine_options,
+    ):
+        """Attach an incremental SGB engine to ``table``.
+
+        Existing rows are back-filled immediately; every later INSERT (SQL
+        or :meth:`insert`) updates the maintained grouping, so re-querying
+        the view is a snapshot read instead of a batch recompute.  Returns
+        the :class:`~repro.streaming.view.StreamingGroupView`.
+        """
+        from repro.streaming.view import StreamingGroupView
+
+        key = name.lower()
+        if key in self._stream_views:
+            raise CatalogError(f"stream view {name!r} already exists")
+        view = StreamingGroupView(
+            key,
+            self.catalog.get(table),
+            columns,
+            mode,
+            eps=eps,
+            metric=metric,
+            batch_size=batch_size,
+            **engine_options,
+        )
+        self._stream_views[key] = view
+        return view
+
+    def stream_view(self, name: str):
+        try:
+            return self._stream_views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"stream view {name!r} does not exist") from None
+
+    def stream_view_names(self) -> List[str]:
+        return sorted(self._stream_views)
+
+    def drop_stream_view(self, name: str) -> None:
+        view = self.stream_view(name)
+        view.detach()
+        del self._stream_views[view.name]
+
+    def _drop_views_of_table(self, table_name: str) -> None:
+        doomed = [
+            v.name
+            for v in self._stream_views.values()
+            if v.table.name == table_name.lower()
+        ]
+        for name in doomed:
+            self.drop_stream_view(name)
 
     # ------------------------------------------------------------------
     # SQL API
@@ -192,6 +256,7 @@ class Database:
             return StatementResult("CREATE TABLE")
         if isinstance(stmt, ast.DropTable):
             self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+            self._drop_views_of_table(stmt.name)
             return StatementResult("DROP TABLE")
         if isinstance(stmt, ast.CreateIndex):
             table = self.catalog.get(stmt.table)

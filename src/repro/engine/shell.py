@@ -152,6 +152,8 @@ class Shell:
             except ReproError as exc:
                 return f"ERROR: {exc}"
             return f"TPC-H-like data loaded at SF={sf:g}."
+        if head == "\\stream":
+            return self._stream(parts[1:])
         if head == "\\help":
             return (
                 "\\d [table]   list tables / describe one\n"
@@ -159,9 +161,78 @@ class Shell:
                 "\\timing      toggle per-statement timing\n"
                 "\\load t f    load CSV file f into new table t\n"
                 "\\tpch [sf]   load the TPC-H-like dataset\n"
+                "\\stream ...  incremental SGB views "
+                "(\\stream for usage)\n"
                 "\\q           quit"
             )
         return f"unknown meta-command {head!r} (try \\help)"
+
+    def _stream(self, args: List[str]) -> str:
+        """Manage incremental SGB views: create, inspect, drop, list."""
+        usage = (
+            "usage: \\stream                         list views\n"
+            "       \\stream <name>                  snapshot one view\n"
+            "       \\stream create <name> <table> "
+            "<col,col> <any|all> <eps>\n"
+            "       \\stream drop <name>"
+        )
+        if not args:
+            names = self.db.stream_view_names()
+            if not names:
+                return "No stream views.\n" + usage
+            lines = []
+            for name in names:
+                v = self.db.stream_view(name)
+                lines.append(
+                    f"{v.name}: {v.mode} over {v.table.name}"
+                    f"({','.join(v.columns)}) eps={v.eps:g} "
+                    f"points={v.n_points}"
+                )
+            return "\n".join(lines)
+        if args[0] == "create":
+            if len(args) != 6:
+                return usage
+            _, name, table, cols, mode, eps = args
+            try:
+                view = self.db.create_stream_view(
+                    name, table, cols.split(","), mode, eps=float(eps)
+                )
+            except (ReproError, ValueError) as exc:
+                return f"ERROR: {exc}"
+            return (
+                f"Stream view {view.name!r} tracking {view.table.name}: "
+                f"{view.n_points} rows, {view.n_groups()} groups."
+            )
+        if args[0] == "drop":
+            if len(args) != 2:
+                return usage
+            try:
+                self.db.drop_stream_view(args[1])
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+            return f"Dropped stream view {args[1]!r}."
+        if len(args) == 1:
+            try:
+                view = self.db.stream_view(args[0])
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+            snap = view.snapshot()
+            sizes = snap.group_sizes()
+            shown = ", ".join(str(s) for s in sizes[:10])
+            if len(sizes) > 10:
+                shown += ", ..."
+            stats = view.stats
+            return (
+                f"{view.name}: {snap.n_points} points, "
+                f"{snap.n_groups} groups, "
+                f"{snap.n_eliminated} eliminated\n"
+                f"group sizes: [{shown}]\n"
+                f"batches={len(view.batcher.batches)} "
+                f"probes={stats.index_probes} "
+                f"merges={stats.groups_merged} "
+                f"ingest={stats.wall_time_s * 1000:.1f} ms"
+            )
+        return usage
 
 
 def main(argv=None) -> int:  # pragma: no cover - interactive loop

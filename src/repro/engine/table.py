@@ -65,6 +65,7 @@ class Table:
         self.schema = Schema(cols)
         self.rows: List[Tuple[Any, ...]] = []
         self.indexes: Dict[str, TableIndex] = {}
+        self._insert_listeners: List[Any] = []
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -79,10 +80,26 @@ class Table:
             T.coerce(value, col.type) for value, col in zip(row, self.schema)
         )
         self.rows.append(coerced)
+        row_id = len(self.rows) - 1
         if self.indexes:
-            row_id = len(self.rows) - 1
             for index in self.indexes.values():
                 index.note_insert(coerced, row_id)
+        for listener in self._insert_listeners:
+            listener(coerced, row_id)
+
+    # ------------------------------------------------------------------
+    # insert listeners (streaming views subscribe to new rows)
+    # ------------------------------------------------------------------
+    def add_insert_listener(self, listener) -> None:
+        """Register ``listener(row, row_id)`` to be called after inserts."""
+        self._insert_listeners.append(listener)
+
+    def remove_insert_listener(self, listener) -> None:
+        """Unregister a listener (no-op if it was never registered)."""
+        try:
+            self._insert_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # secondary indexes

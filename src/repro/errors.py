@@ -20,6 +20,19 @@ class DimensionMismatchError(InvalidParameterError):
     """Points of different dimensionality were mixed in one operation."""
 
 
+class InvalidCoordinateError(InvalidParameterError):
+    """A point contains a NaN or infinite coordinate.
+
+    Raised by the validating entry points before the value can reach an
+    index structure (NaN compares false with everything, so letting one in
+    silently corrupts grid cells and R-tree rectangles).
+    """
+
+
+class StreamStateError(ReproError):
+    """A streaming engine was used after being closed by ``result()``."""
+
+
 class SQLError(ReproError):
     """Base class for SQL front-end errors."""
 

@@ -1,0 +1,134 @@
+"""Counters for the incremental SGB engines.
+
+Every streaming engine owns one cumulative :class:`StreamStats`; the
+:class:`~repro.streaming.micro_batch.MicroBatcher` snapshots it around each
+flushed batch and stores the per-batch delta in a :class:`BatchRecord`.
+Counters are plain ints (plus a float wall-clock) so diffing two snapshots
+is exact and cheap.
+
+The counters mirror what the paper's evaluation reports for the batch
+operators: group bookkeeping (created / merged / dropped), index work
+(window probes and the candidates they return), and elimination/deferral
+accounting for the overlap clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+#: Counter attributes, in reporting order.
+_FIELDS = (
+    "points",
+    "groups_created",
+    "groups_merged",
+    "groups_dropped",
+    "eliminated",
+    "deferred",
+    "index_probes",
+    "candidates",
+    "distance_computations",
+)
+
+
+class StreamStats:
+    """Cumulative counters for one streaming engine.
+
+    Attributes
+    ----------
+    points:
+        Points ingested so far.
+    groups_created:
+        Groups opened (SGB-Any: one per point, pre-merge; SGB-All: new
+        cliques started).
+    groups_merged:
+        SGB-Any component merges (a union that reduced the component count).
+    groups_dropped:
+        SGB-All groups emptied by ELIMINATE / FORM-NEW-GROUP overlap
+        processing.
+    eliminated / deferred:
+        Points dropped or deferred by the overlap clause.
+    index_probes:
+        ε-box window queries issued against the neighbor/group index.
+    candidates:
+        Entries returned by those window queries before exact verification.
+    distance_computations:
+        Similarity-predicate evaluations (only populated when the engine
+        was built with ``count_distances=True``).
+    wall_time_s:
+        Ingest wall time attributed by the micro-batcher.
+    """
+
+    __slots__ = _FIELDS + ("wall_time_s",)
+
+    def __init__(self) -> None:
+        for f in _FIELDS:
+            setattr(self, f, 0)
+        self.wall_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "StreamStats":
+        out = StreamStats()
+        for f in _FIELDS:
+            setattr(out, f, getattr(self, f))
+        out.wall_time_s = self.wall_time_s
+        return out
+
+    def __sub__(self, earlier: "StreamStats") -> "StreamStats":
+        """Delta between two snapshots of the same engine's counters."""
+        out = StreamStats()
+        for f in _FIELDS:
+            setattr(out, f, getattr(self, f) - getattr(earlier, f))
+        out.wall_time_s = self.wall_time_s - earlier.wall_time_s
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {f: getattr(self, f) for f in _FIELDS}
+        out["wall_time_s"] = self.wall_time_s
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in _FIELDS)
+        return f"StreamStats({body}, wall_time_s={self.wall_time_s:.6f})"
+
+
+class BatchRecord:
+    """Per-micro-batch accounting kept by the MicroBatcher."""
+
+    __slots__ = ("seq", "size", "stats")
+
+    def __init__(self, seq: int, size: int, stats: StreamStats):
+        self.seq = seq
+        self.size = size
+        self.stats = stats
+
+    @property
+    def wall_time_s(self) -> float:
+        return self.stats.wall_time_s
+
+    def as_dict(self) -> Dict[str, float]:
+        out = self.stats.as_dict()
+        out["seq"] = self.seq
+        out["size"] = self.size
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchRecord(seq={self.seq}, size={self.size}, "
+            f"wall_time_s={self.wall_time_s:.6f})"
+        )
+
+
+def total_of(records: List[BatchRecord]) -> StreamStats:
+    """Sum the deltas of ``records`` back into one cumulative StreamStats."""
+    out = StreamStats()
+    for rec in records:
+        for f in _FIELDS:
+            setattr(out, f, getattr(out, f) + getattr(rec.stats, f))
+        out.wall_time_s += rec.stats.wall_time_s
+    return out

@@ -1,0 +1,120 @@
+"""Input validation at the array-API boundary (satellite hardening pass).
+
+A NaN coordinate compares false with everything, so one reaching a grid
+cell or R-tree rectangle silently corrupts the index; mixed-dimension
+points crash deep inside distance kernels with an opaque zip truncation
+instead of a typed error.  Both must be rejected at the door.
+"""
+
+import math
+
+import pytest
+
+from repro.core.api import (
+    check_eps,
+    sgb_all,
+    sgb_any,
+    sgb_stream,
+    validate_point,
+)
+from repro.errors import (
+    DimensionMismatchError,
+    InvalidCoordinateError,
+    InvalidParameterError,
+)
+
+NON_FINITE = [float("nan"), float("inf"), float("-inf")]
+
+
+class TestEpsValidation:
+    @pytest.mark.parametrize("bad", NON_FINITE + [-1.0, -0.5])
+    def test_batch_apis_reject_bad_eps(self, bad):
+        with pytest.raises(InvalidParameterError):
+            sgb_any([(0, 0)], bad)
+        with pytest.raises(InvalidParameterError):
+            sgb_all([(0, 0)], bad)
+
+    def test_batch_apis_accept_zero_eps(self):
+        # eps=0 is the equality-grouping degeneracy of plain GROUP BY
+        assert sgb_any([(0, 0), (0, 0), (1, 1)], 0).n_groups == 2
+
+    def test_streaming_requires_strictly_positive_eps(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_stream("any", eps=0)
+        with pytest.raises(InvalidParameterError):
+            sgb_stream("all", eps=0)
+
+    def test_check_eps_rejects_non_numbers(self):
+        with pytest.raises(InvalidParameterError):
+            check_eps("wide")
+        with pytest.raises(InvalidParameterError):
+            check_eps(None)
+
+    def test_check_eps_coerces_to_float(self):
+        out = check_eps(2)
+        assert out == 2.0 and isinstance(out, float)
+
+
+class TestCoordinateValidation:
+    @pytest.mark.parametrize("bad", NON_FINITE)
+    def test_batch_apis_reject_non_finite_coordinates(self, bad):
+        pts = [(0.0, 0.0), (1.0, bad), (2.0, 2.0)]
+        with pytest.raises(InvalidCoordinateError):
+            sgb_any(pts, 1.0)
+        with pytest.raises(InvalidCoordinateError):
+            sgb_all(pts, 1.0)
+
+    def test_streaming_rejects_non_finite_coordinates(self):
+        stream = sgb_stream("any", eps=1.0, batch_size=1)
+        with pytest.raises(InvalidCoordinateError):
+            stream.insert((float("nan"), 0.0))
+
+    def test_error_type_is_an_invalid_parameter(self):
+        # callers catching the broad class keep working
+        assert issubclass(InvalidCoordinateError, InvalidParameterError)
+
+    def test_non_numeric_coordinates(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_any([(0.0, "east")], 1.0)
+
+    def test_validate_point_establishes_dimension(self):
+        pt, dim = validate_point((1, 2.5), None)
+        assert pt == (1.0, 2.5) and dim == 2
+        assert all(isinstance(v, float) for v in pt)
+
+    def test_empty_point_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_point((), None)
+
+
+class TestDimensionValidation:
+    def test_batch_apis_reject_mixed_dimensions(self):
+        pts = [(0.0, 0.0), (1.0, 1.0, 1.0)]
+        with pytest.raises(DimensionMismatchError):
+            sgb_any(pts, 1.0)
+        with pytest.raises(DimensionMismatchError):
+            sgb_all(pts, 1.0)
+
+    def test_error_type_is_an_invalid_parameter(self):
+        assert issubclass(DimensionMismatchError, InvalidParameterError)
+
+    def test_uniform_higher_dimension_accepted(self):
+        res = sgb_any([(0, 0, 0), (0.5, 0, 0), (9, 9, 9)], 1.0)
+        assert res.n_groups == 2
+
+    def test_validation_is_lazy_up_to_the_bad_point(self):
+        # the good prefix is validated before the bad point raises,
+        # not the whole input eagerly
+        def gen():
+            yield (0.0, 0.0)
+            yield (1.0, float("nan"))
+            raise AssertionError("must not be pulled past the bad point")
+
+        with pytest.raises(InvalidCoordinateError):
+            sgb_any(gen(), 1.0)
+
+
+def test_valid_inputs_still_group():
+    res = sgb_all([(0, 0), (0.5, 0.5), (9, 9)], 1.0, tiebreak="first")
+    assert res.n_groups == 2
+    assert math.isclose(sum(res.group_sizes()), 3)

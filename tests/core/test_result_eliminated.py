@@ -1,0 +1,75 @@
+"""Regression: eliminated points (any negative label) must be excluded
+from every group statistic, matching the ``label < 0`` convention used by
+the engine executor and the quality metrics."""
+
+import pytest
+
+from repro.core.api import sgb_all
+from repro.core.result import ELIMINATED, GroupingResult
+
+
+def make_result():
+    # labels use both -1 (ELIMINATED) and another negative sentinel
+    labels = [0, ELIMINATED, 1, 0, -2, 1, 2]
+    points = [(float(i), 0.0) for i in range(len(labels))]
+    return GroupingResult(labels, points)
+
+
+class TestEliminatedExclusion:
+    def test_n_groups_excludes_negative_labels(self):
+        assert make_result().n_groups == 3
+
+    def test_n_eliminated_counts_all_negative_labels(self):
+        res = make_result()
+        assert res.n_eliminated == 2
+        assert res.eliminated_indices() == [1, 4]
+
+    def test_groups_and_sizes_skip_eliminated(self):
+        res = make_result()
+        assert res.groups() == {0: [0, 3], 1: [2, 5], 2: [6]}
+        assert res.group_sizes() == [2, 2, 1]
+
+    def test_sizes_plus_eliminated_cover_all_points(self):
+        res = make_result()
+        assert sum(res.group_sizes()) + res.n_eliminated == res.n_points
+
+    def test_group_points_skips_eliminated(self):
+        res = make_result()
+        members = [p for pts in res.group_points().values() for p in pts]
+        assert (1.0, 0.0) not in members
+        assert (4.0, 0.0) not in members
+
+    def test_relabeled_normalizes_negative_labels(self):
+        relab = make_result().relabeled()
+        assert relab.labels == [0, ELIMINATED, 1, 0, ELIMINATED, 1, 2]
+        assert relab.n_groups == 3
+        assert relab.n_eliminated == 2
+
+    def test_partition_ignores_eliminated(self):
+        res = make_result()
+        assert frozenset([1]) not in res.partition()
+        assert frozenset([4]) not in res.partition()
+
+
+class TestEndToEndEliminate:
+    def test_eliminate_run_stats_are_consistent(self):
+        # (1, 0) is within eps of both singleton cliques -> eliminated
+        pts = [(0.0, 0.0), (2.0, 0.0), (1.0, 0.0)]
+        res = sgb_all(pts, 1.0, metric="linf", on_overlap="eliminate")
+        assert res.labels[2] < 0
+        assert res.n_groups == 2
+        assert res.n_eliminated == 1
+        assert res.group_sizes() == [1, 1]
+        assert sum(res.group_sizes()) + res.n_eliminated == res.n_points
+
+    def test_all_eliminated(self):
+        res = GroupingResult([ELIMINATED, -3], [(0.0,), (1.0,)])
+        assert res.n_groups == 0
+        assert res.group_sizes() == []
+        assert res.partition() == ()
+        assert res.n_eliminated == 2
+
+
+def test_misaligned_inputs_rejected():
+    with pytest.raises(ValueError):
+        GroupingResult([0], [(0.0,), (1.0,)])

@@ -1,0 +1,140 @@
+"""Micro-batcher mechanics: buffering, flush triggers, per-batch stats."""
+
+import random
+
+import pytest
+
+from repro.core.api import sgb_stream
+from repro.errors import (
+    DimensionMismatchError,
+    InvalidCoordinateError,
+    InvalidParameterError,
+    StreamStateError,
+)
+from repro.streaming import (
+    MicroBatcher,
+    StreamingSGBAny,
+    total_of,
+)
+
+
+def random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(n)]
+
+
+class TestBatching:
+    def test_buffers_until_batch_size(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=3)
+        mb.insert((0, 0))
+        mb.insert((1, 1))
+        assert mb.n_pending == 2
+        assert mb.engine.n_points == 0
+        mb.insert((2, 2))  # triggers the flush
+        assert mb.n_pending == 0
+        assert mb.engine.n_points == 3
+        assert len(mb.batches) == 1
+        assert mb.batches[0].size == 3
+
+    def test_snapshot_flushes_pending(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=100)
+        mb.extend([(0, 0), (0.5, 0), (9, 9)])
+        assert mb.n_pending == 3
+        snap = mb.snapshot()
+        assert snap.n_points == 3
+        assert snap.group_sizes() == [2, 1]
+        assert mb.n_pending == 0
+
+    def test_result_flushes_and_closes(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=100)
+        mb.extend([(0, 0), (0.5, 0)])
+        res = mb.result()
+        assert res.n_points == 2
+        assert mb.engine.closed
+
+    def test_flush_on_empty_buffer_is_noop(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=2)
+        mb.flush()
+        assert mb.batches == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(InvalidParameterError):
+            MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=0)
+
+    def test_validation_is_eager_not_deferred_to_flush(self):
+        """A bad row must fail the insert() that supplied it — buffering
+        it would blow up a later snapshot()/result() instead."""
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=100)
+        mb.insert((0, 0))
+        with pytest.raises(InvalidCoordinateError):
+            mb.insert((1, float("nan")))
+        with pytest.raises(DimensionMismatchError):
+            mb.insert((1, 2, 3))
+        assert mb.n_points == 1  # bad rows were never buffered
+        assert mb.snapshot().n_points == 1  # and flush stays clean
+
+    def test_insert_after_result_fails_immediately(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=100)
+        mb.extend([(0, 0), (9, 9)])
+        mb.result()
+        with pytest.raises(StreamStateError):
+            mb.insert((1, 1))
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 1000])
+    def test_batch_partitioning(self, batch_size):
+        pts = random_points(64)
+        mb = MicroBatcher(StreamingSGBAny(eps=0.8), batch_size=batch_size)
+        mb.extend(pts)
+        mb.flush()
+        assert sum(rec.size for rec in mb.batches) == 64
+        full = [s for rec in mb.batches[:-1] for s in [rec.size]]
+        assert all(s == min(batch_size, 64) for s in full)
+
+
+class TestPerBatchStats:
+    def test_deltas_sum_to_engine_totals(self):
+        pts = random_points(50, seed=3)
+        mb = MicroBatcher(StreamingSGBAny(eps=0.8), batch_size=7)
+        mb.extend(pts)
+        mb.flush()
+        summed = total_of(mb.batches)
+        assert summed.points == mb.stats.points == 50
+        assert summed.index_probes == mb.stats.index_probes == 50
+        assert summed.groups_merged == mb.stats.groups_merged
+        assert summed.candidates == mb.stats.candidates
+        assert summed.wall_time_s == pytest.approx(mb.stats.wall_time_s)
+
+    def test_batch_records_are_labeled(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=2)
+        mb.extend(random_points(5))
+        mb.flush()
+        assert [rec.seq for rec in mb.batches] == [0, 1, 2]
+        assert [rec.size for rec in mb.batches] == [2, 2, 1]
+        assert all(rec.wall_time_s >= 0 for rec in mb.batches)
+        d = mb.batches[0].as_dict()
+        assert d["seq"] == 0 and d["size"] == 2
+
+
+class TestSgbStreamEntryPoint:
+    def test_builds_any_engine(self):
+        stream = sgb_stream("any", eps=1.0, batch_size=2)
+        assert isinstance(stream, MicroBatcher)
+        assert isinstance(stream.engine, StreamingSGBAny)
+
+    def test_builds_all_engine_with_options(self):
+        stream = sgb_stream("all", eps=1.0, on_overlap="eliminate",
+                            tiebreak="first")
+        assert stream.engine.on_overlap == "eliminate"
+
+    def test_initial_points_are_ingested(self):
+        stream = sgb_stream("any", eps=1.0, batch_size=2,
+                            points=[(0, 0), (0.5, 0), (9, 9)])
+        assert stream.snapshot().group_sizes() == [2, 1]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_stream("some", eps=1.0)
+
+    def test_rejects_nonpositive_eps(self):
+        with pytest.raises(InvalidParameterError):
+            sgb_stream("any", eps=0.0)
