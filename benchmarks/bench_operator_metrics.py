@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Operator-counter trajectories via EXPLAIN ANALYZE instrumentation.
+
+For growing table sizes the same similarity GROUP BY query is executed
+through :meth:`Database.analyze`, and the per-node counters the
+:mod:`repro.obs` layer collects (``index_probes``, ``candidates``,
+``distance_computations``, ``rows_skipped_null``, …) are recorded per
+strategy.  The JSON written to ``BENCH_operator_metrics.json`` is the
+machine-readable counter trajectory the paper's §8 pruning argument is
+about: candidates and distance computations for the indexed strategies
+should grow far slower than the all-pairs baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_operator_metrics.py [--quick]
+        [--sizes 200,500,1000] [--eps E] [--null-fraction F]
+        [--out BENCH_operator_metrics.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+
+ALL_STRATEGIES = ("all-pairs", "bounds-checking", "index")
+ANY_STRATEGIES = ("all-pairs", "grid", "index")
+
+ANY_SQL = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN {eps}"
+ALL_SQL = (
+    "SELECT count(*) FROM pts GROUP BY x, y "
+    "DISTANCE-TO-ALL L2 WITHIN {eps} ON-OVERLAP JOIN-ANY"
+)
+
+
+def _load(db: Database, points, null_every: int) -> None:
+    db.execute("CREATE TABLE pts (x float, y float)")
+    rows = []
+    for i, (x, y) in enumerate(points):
+        if null_every and i % null_every == 0:
+            rows.append(f"(NULL, {y})")
+        else:
+            rows.append(f"({x}, {y})")
+    db.execute(f"INSERT INTO pts VALUES {', '.join(rows)}")
+
+
+def run_one(mode: str, strategy: str, points, eps: float,
+            null_every: int, seed: int = 0):
+    db = Database(sgb_all_strategy=strategy, sgb_any_strategy=strategy,
+                  tiebreak="first", seed=seed)
+    _load(db, points, null_every)
+    sql = (ANY_SQL if mode == "any" else ALL_SQL).format(eps=eps)
+    t0 = time.perf_counter()
+    analyzed = db.analyze(sql)
+    elapsed = time.perf_counter() - t0
+    return {
+        "mode": mode,
+        "strategy": strategy,
+        "n": len(points),
+        "eps": eps,
+        "n_groups": len(analyzed.rows),
+        "wall_time_s": elapsed,
+        "counters": analyzed.node_counters(),
+        "plan": analyzed.metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated table sizes")
+    parser.add_argument("--eps", type=float, default=0.05)
+    parser.add_argument("--null-fraction", type=float, default=0.1,
+                        help="fraction of rows given a NULL grouping "
+                             "attribute (exercises rows_skipped_null)")
+    parser.add_argument("--mode", choices=("any", "all", "both"),
+                        default="both")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: "
+                             "BENCH_operator_metrics.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    if args.sizes:
+        sizes = [int(s) for s in args.sizes.split(",")]
+    elif args.quick:
+        sizes = [100, 300]
+    else:
+        sizes = [200, 500, 1000, 2000]
+    modes = ["any", "all"] if args.mode == "both" else [args.mode]
+    null_every = int(round(1 / args.null_fraction)) if args.null_fraction else 0
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_operator_metrics.json"
+    )
+
+    results = []
+    sane = True
+    for n in sizes:
+        points = uniform_points(n)
+        for mode in modes:
+            strategies = ANY_STRATEGIES if mode == "any" else ALL_STRATEGIES
+            baseline = None
+            for strategy in strategies:
+                row = run_one(mode, strategy, points, args.eps, null_every)
+                results.append(row)
+                counters = row["counters"]
+                if strategy == "all-pairs":
+                    baseline = counters.get("distance_computations", 0)
+                print(
+                    f"[{mode:>3}/{strategy:<15}] n={n:>5}: "
+                    f"dist={counters.get('distance_computations', 0):>8} "
+                    f"cand={counters.get('candidates', 0):>8} "
+                    f"probes={counters.get('index_probes', 0):>6} "
+                    f"null={counters.get('rows_skipped_null', 0):>4} "
+                    f"groups={row['n_groups']:>5}"
+                )
+            # Pruning sanity: no strategy should *exceed* the all-pairs
+            # distance count on the same workload.
+            for row in results[-len(strategies):]:
+                if row["counters"].get("distance_computations", 0) > \
+                        (baseline or 0):
+                    sane = False
+
+    payload = {
+        "benchmark": "operator-counter-trajectories",
+        "config": {
+            "sizes": sizes,
+            "eps": args.eps,
+            "null_fraction": args.null_fraction,
+            "modes": modes,
+            "quick": args.quick,
+        },
+        "results": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    if not sane:
+        print("ERROR: a pruning strategy computed more distances than "
+              "all-pairs", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

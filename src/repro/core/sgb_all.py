@@ -35,6 +35,7 @@ from repro.core.result import ELIMINATED, GroupingResult
 from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.geometry.rectangle import Rect
 from repro.index.rtree import RTree
+from repro.obs.metrics import MetricBag
 
 Point = Tuple[float, ...]
 
@@ -62,7 +63,13 @@ def normalize_overlap(clause: str) -> str:
 # strategies
 # ----------------------------------------------------------------------
 class _StrategyBase:
-    """Owns the live groups and keeps auxiliary structures in sync."""
+    """Owns the live groups and keeps auxiliary structures in sync.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricBag` or None) is set by
+    the owning operator; strategies count ``index_probes`` (FindCloseGroups
+    invocations — true window queries for :class:`IndexedStrategy`) and
+    ``candidates`` (raw entries examined before exact verification) into it.
+    """
 
     name = "abstract"
 
@@ -71,6 +78,7 @@ class _StrategyBase:
         self.metric = metric
         self.use_hull = use_hull
         self.registry = GroupRegistry()
+        self.metrics: Optional[MetricBag] = None
 
     # -- FindCloseGroups -------------------------------------------------
     def find_close_groups(
@@ -118,6 +126,9 @@ class AllPairsStrategy(_StrategyBase):
     def find_close_groups(
         self, point: Point, need_overlap: bool
     ) -> Tuple[List[Group], List[Group]]:
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(self.registry))
         candidates: List[Group] = []
         overlaps: List[Group] = []
         within = self.metric.within
@@ -155,6 +166,9 @@ class BoundsCheckingStrategy(_StrategyBase):
     def find_close_groups(
         self, point: Point, need_overlap: bool
     ) -> Tuple[List[Group], List[Group]]:
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(self.registry))
         if len(point) == 2:
             return self._find_2d(point, need_overlap)
         candidates: List[Group] = []
@@ -229,7 +243,11 @@ class IndexedStrategy(_StrategyBase):
         candidates: List[Group] = []
         overlaps: List[Group] = []
         window = Rect.eps_box(point, self.eps)
-        for gid in self._rtree.search(window):
+        hits = self._rtree.search(window)
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(hits))
+        for gid in hits:
             g = self.registry.get(gid)
             if g.accepts(point):
                 candidates.append(g)
@@ -297,6 +315,13 @@ class SGBAllOperator:
         Enable the §6.4 convex-hull refinement for 2-D L2 (ignored for L∞).
         Disabling it falls back to exact member scans after the rectangle
         filter — still correct, benchmarked as an ablation.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricBag`.  When given, the
+        operator counts the shared SGB counter fields (``points``,
+        ``groups_created``, ``eliminated``, ``deferred``, ``groups_dropped``,
+        ``index_probes``, ``candidates``, ``distance_computations``) into
+        it, wrapping the metric in a CountingMetric if needed.  Default
+        None: zero instrumentation overhead.
     """
 
     def __init__(
@@ -311,15 +336,18 @@ class SGBAllOperator:
         use_hull: bool = True,
         max_recursion: Optional[int] = None,
         count_distance_computations: bool = False,
+        metrics: Optional[MetricBag] = None,
     ):
         if eps < 0:
             raise InvalidParameterError(f"eps must be non-negative, got {eps}")
         self.eps = float(eps)
         self.metric = resolve_metric(metric)
-        if count_distance_computations:
+        self.metrics = metrics
+        if count_distance_computations or metrics is not None:
             from repro.core.stats import CountingMetric
 
-            self.metric = CountingMetric(self.metric)
+            if not hasattr(self.metric, "calls"):
+                self.metric = CountingMetric(self.metric)
         self.on_overlap = normalize_overlap(on_overlap)
         if tiebreak not in ("random", "first"):
             raise InvalidParameterError(
@@ -370,10 +398,13 @@ class SGBAllOperator:
             and self._dim == 2
         )
         if self._strategy_cls is IndexedStrategy:
-            return IndexedStrategy(
+            strat: _StrategyBase = IndexedStrategy(
                 self.eps, self.metric, use_hull, self._rtree_max_entries
             )
-        return self._strategy_cls(self.eps, self.metric, use_hull)
+        else:
+            strat = self._strategy_cls(self.eps, self.metric, use_hull)
+        strat.metrics = self.metrics
+        return strat
 
     # ------------------------------------------------------------------
     def add(self, point: Sequence[float]) -> None:
@@ -393,6 +424,8 @@ class SGBAllOperator:
         pid = len(self._points)
         self._points.append(pt)
         assert self._strategy is not None
+        if self.metrics is not None:
+            self.metrics.incr("points")
         self._process_point(self._strategy, pid, self._deferred)
 
     def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAllOperator":
@@ -407,11 +440,14 @@ class SGBAllOperator:
         """One iteration of Procedure 1 for point ``pid``."""
         point = self._points[pid]
         need_overlap = self.on_overlap != JOIN_ANY
+        bag = self.metrics
         candidates, overlaps = strat.find_close_groups(point, need_overlap)
 
         # -- ProcessGroupingALL (Procedure 3) --------------------------
         if not candidates:
             strat.create_group(pid, point)
+            if bag is not None:
+                bag.incr("groups_created")
         elif len(candidates) == 1:
             strat.add_member(candidates[0], pid, point)
         elif self.on_overlap == JOIN_ANY:
@@ -423,8 +459,12 @@ class SGBAllOperator:
             strat.add_member(chosen, pid, point)
         elif self.on_overlap == ELIMINATE_CLAUSE:
             self._eliminated.add(pid)
+            if bag is not None:
+                bag.incr("eliminated")
         else:  # FORM-NEW-GROUP: defer to S'
             deferred_out.append(pid)
+            if bag is not None:
+                bag.incr("deferred")
 
         # -- ProcessOverlap --------------------------------------------
         if need_overlap and overlaps:
@@ -432,11 +472,17 @@ class SGBAllOperator:
                 doomed = g.members_within(point)
                 if not doomed:
                     continue
+                if bag is not None and len(doomed) == len(g.member_ids):
+                    bag.incr("groups_dropped")
                 strat.remove_members(g, doomed)
                 if self.on_overlap == ELIMINATE_CLAUSE:
                     self._eliminated.update(doomed)
+                    if bag is not None:
+                        bag.incr("eliminated", len(doomed))
                 else:
                     deferred_out.extend(doomed)
+                    if bag is not None:
+                        bag.incr("deferred", len(doomed))
 
     # ------------------------------------------------------------------
     def finalize(self) -> GroupingResult:
@@ -483,6 +529,12 @@ class SGBAllOperator:
                 for pid in g.member_ids:
                     labels[pid] = next_label
                 next_label += 1
+        if self.metrics is not None:
+            # The CountingMetric tally is cumulative; publish it once the
+            # stream closes so the bag carries the final figure.
+            self.metrics.incr(
+                "distance_computations", getattr(self.metric, "calls", 0)
+            )
         # Eliminated points stay -1; sanity: they were never assigned above.
         return GroupingResult(labels, self._points)
 
@@ -492,6 +544,8 @@ class SGBAllOperator:
         for pid in pids:
             g = registry.new_group(self.eps, self.metric, False)
             g.add(pid, self._points[pid])
+            if self.metrics is not None:
+                self.metrics.incr("groups_created")
         self._finished_registries.append(registry)
 
     @staticmethod

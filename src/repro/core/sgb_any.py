@@ -25,18 +25,26 @@ from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.geometry.rectangle import Rect
 from repro.index.grid import GridIndex
 from repro.index.rtree import RTree
+from repro.obs.metrics import MetricBag
 
 Point = Tuple[float, ...]
 
 
 class _AnyStrategyBase:
-    """Finds ids of previously-seen points within ε of a probe point."""
+    """Finds ids of previously-seen points within ε of a probe point.
+
+    ``metrics`` (set by the owning operator) receives ``index_probes`` —
+    one per :meth:`neighbors` call — and ``candidates`` — raw entries the
+    probe returned before exact verification (points scanned, for the
+    naive strategy).
+    """
 
     name = "abstract"
 
     def __init__(self, eps: float, metric: Metric):
         self.eps = eps
         self.metric = metric
+        self.metrics: Optional[MetricBag] = None
 
     def neighbors(self, point: Point) -> List[int]:
         raise NotImplementedError
@@ -55,6 +63,9 @@ class NaiveAnyStrategy(_AnyStrategyBase):
         self._points: List[Point] = []
 
     def neighbors(self, point: Point) -> List[int]:
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(self._points))
         within = self.metric.within
         eps = self.eps
         return [i for i, q in enumerate(self._points) if within(point, q, eps)]
@@ -81,6 +92,9 @@ class RTreeAnyStrategy(_AnyStrategyBase):
     def neighbors(self, point: Point) -> List[int]:
         window = Rect.eps_box(point, self.eps)
         hits = self._rtree.search_with_rects(window)
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(hits))
         if self.metric.name == "linf":
             return [pid for _, pid in hits]
         within = self.metric.within
@@ -107,6 +121,9 @@ class GridAnyStrategy(_AnyStrategyBase):
     def neighbors(self, point: Point) -> List[int]:
         window = Rect.eps_box(point, self.eps)
         hits = self._grid.search_with_points(window)
+        if self.metrics is not None:
+            self.metrics.incr("index_probes")
+            self.metrics.incr("candidates", len(hits))
         if self.metric.name == "linf":
             return [pid for _, pid in hits]
         within = self.metric.within
@@ -144,15 +161,18 @@ class SGBAnyOperator:
         strategy: str = "index",
         rtree_max_entries: int = 16,
         count_distance_computations: bool = False,
+        metrics: Optional[MetricBag] = None,
     ):
         if eps < 0:
             raise InvalidParameterError(f"eps must be non-negative, got {eps}")
         self.eps = float(eps)
         self.metric = resolve_metric(metric)
-        if count_distance_computations:
+        self.metrics = metrics
+        if count_distance_computations or metrics is not None:
             from repro.core.stats import CountingMetric
 
-            self.metric = CountingMetric(self.metric)
+            if not hasattr(self.metric, "calls"):
+                self.metric = CountingMetric(self.metric)
         key = strategy.strip().lower()
         try:
             strategy_cls = _STRATEGIES[key]
@@ -161,12 +181,18 @@ class SGBAnyOperator:
                 f"unknown strategy {strategy!r}; expected one of "
                 f"{sorted(set(_STRATEGIES))}"
             ) from None
+        if strategy_cls is GridAnyStrategy and self.eps == 0:
+            # eps == 0 degenerates to equality grouping, which the grid
+            # cannot express (the cell side is eps); the naive scan gives
+            # identical components, so quietly take that path instead.
+            strategy_cls = NaiveAnyStrategy
         if strategy_cls is RTreeAnyStrategy:
             self._strategy: _AnyStrategyBase = RTreeAnyStrategy(
                 self.eps, self.metric, rtree_max_entries
             )
         else:
             self._strategy = strategy_cls(self.eps, self.metric)
+        self._strategy.metrics = metrics
         self._uf = UnionFind()
         self._points: List[Point] = []
         self._dim: Optional[int] = None
@@ -203,8 +229,15 @@ class SGBAnyOperator:
         pid = len(self._points)
         self._points.append(pt)
         self._uf.add(pid)
+        bag = self.metrics
+        if bag is not None:
+            bag.incr("points")
+            bag.incr("groups_created")
+            before = self._uf.n_components
         for nb in self._strategy.neighbors(pt):
             self._uf.union(pid, nb)
+        if bag is not None:
+            bag.incr("groups_merged", before - self._uf.n_components)
         self._strategy.insert(pid, pt)
 
     def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAnyOperator":
@@ -216,6 +249,10 @@ class SGBAnyOperator:
         if self._finalized:
             raise RuntimeError("operator already finalized")
         self._finalized = True
+        if self.metrics is not None:
+            self.metrics.incr(
+                "distance_computations", getattr(self.metric, "calls", 0)
+            )
         labels: List[int] = []
         root_to_label: dict = {}
         for pid in range(len(self._points)):

@@ -211,33 +211,39 @@ class Database:
     def explain_analyze(self, sql: str) -> str:
         """EXPLAIN with actual row counts and per-operator wall time.
 
-        Every operator in this engine is re-iterable (state is built inside
-        ``__iter__``), so each subtree is simply executed once; reported
-        times therefore *include* the subtree's children, like the
-        inclusive times in PostgreSQL's EXPLAIN ANALYZE.
+        The plan is executed exactly *once*: :func:`repro.obs.attach`
+        instruments every node, a single pass over the root drives the
+        whole tree, and each node reports its rows out, loop count, and
+        inclusive wall time (children run inside the parent's ``next()``,
+        like the inclusive times in PostgreSQL's EXPLAIN ANALYZE) plus any
+        SGB counters its operators recorded.
         """
-        import time as _time
+        return self.analyze(sql).plan_text
+
+    def analyze(self, sql: str):
+        """Run a SELECT instrumented and return an
+        :class:`~repro.obs.explain.AnalyzeResult` (rows + plan text +
+        per-node metrics tree for ``metrics_json()``)."""
+        from repro.obs import (
+            AnalyzeResult,
+            attach,
+            detach,
+            plan_metrics,
+            render_analyze,
+        )
 
         stmts = parse(sql)
         if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
             raise PlanningError("explain_analyze() expects a single SELECT")
         plan = self._planner().plan_query(stmts[0])
-        lines: list = []
-
-        def walk(node, indent: int) -> None:
-            start = _time.perf_counter()
-            rows = sum(1 for _ in node)
-            elapsed = (_time.perf_counter() - start) * 1000
-            lines.append(
-                "  " * indent
-                + f"-> {node.describe()} "
-                + f"(actual rows={rows}, time={elapsed:.2f} ms)"
-            )
-            for child in node.children():
-                walk(child, indent + 1)
-
-        walk(plan, 0)
-        return "\n".join(lines)
+        attach(plan)
+        try:
+            rows = list(plan)
+            text = render_analyze(plan)
+            metrics = plan_metrics(plan)
+        finally:
+            detach(plan)
+        return AnalyzeResult(plan.schema.names(), rows, text, metrics)
 
     # ------------------------------------------------------------------
     def _planner(self) -> Planner:
@@ -269,7 +275,26 @@ class Database:
             return StatementResult("DROP INDEX")
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt)
+        if isinstance(stmt, ast.Explain):
+            return self._execute_explain(stmt)
         raise PlanningError(f"unsupported statement {type(stmt).__name__}")
+
+    def _execute_explain(self, stmt: ast.Explain) -> QueryResult:
+        """EXPLAIN [ANALYZE] as a statement: one plan line per result row."""
+        plan = self._planner().plan_query(stmt.query)
+        if stmt.analyze:
+            from repro.obs import attach, detach, render_analyze
+
+            attach(plan)
+            try:
+                for _ in plan:
+                    pass
+                text = render_analyze(plan)
+            finally:
+                detach(plan)
+        else:
+            text = plan.explain()
+        return QueryResult(["QUERY PLAN"], [(line,) for line in text.splitlines()])
 
     def _execute_insert(self, stmt: ast.Insert) -> StatementResult:
         table = self.catalog.get(stmt.table)

@@ -59,7 +59,7 @@ class HashAggregate(PhysicalOperator):
         columns += [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
         self.schema = Schema(columns)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         groups: Dict[tuple, List[Accumulator]] = {}
         order: List[tuple] = []
         key_fns = self._key_fns

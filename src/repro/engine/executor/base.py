@@ -2,24 +2,43 @@
 
 Every operator exposes an output :class:`~repro.engine.schema.Schema` and an
 iterator of row tuples.  Plans are trees of operators; ``explain()`` renders
-the tree for tests and debugging (the closest analogue of PostgreSQL's
-EXPLAIN for this engine).
+the tree for tests and debugging, and :mod:`repro.obs` can attach a
+:class:`~repro.obs.explain.NodeMetrics` to every node for the full
+``EXPLAIN ANALYZE`` treatment.
+
+Subclasses implement :meth:`_execute`; iteration always goes through the
+base ``__iter__``, which hands the raw iterator straight through when the
+node is uninstrumented (``_obs is None``, the default — one attribute check
+per query per node) and wraps it in the row/time recorder otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 
 from repro.engine.schema import Schema
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.explain import NodeMetrics
+
 
 class PhysicalOperator:
-    """Base class; subclasses set ``self.schema`` and implement ``__iter__``."""
+    """Base class; subclasses set ``self.schema`` and implement ``_execute``."""
 
     schema: Schema
 
-    def __iter__(self) -> Iterator[tuple]:
+    #: Instrumentation slot filled by :func:`repro.obs.attach`; None means
+    #: execution is completely untouched.
+    _obs: "Optional[NodeMetrics]" = None
+
+    def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple]:
+        obs = self._obs
+        if obs is None:
+            return iter(self._execute())
+        return obs.record(self._execute())
 
     def rows(self) -> List[tuple]:
         """Materialize the full output."""

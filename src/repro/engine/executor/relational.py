@@ -20,7 +20,7 @@ class Filter(PhysicalOperator):
         self._predicate_expr = predicate
         self._fn = predicate.bind(ctx_factory(child.schema))
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         fn = self._fn
         for row in self.child:
             if fn(row) is True:
@@ -44,7 +44,7 @@ class Project(PhysicalOperator):
         self._fns = [e.bind(ctx) for e in exprs]
         self.schema = Schema([Column(n, ANY) for n in names])
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         fns = self._fns
         for row in self.child:
             yield tuple(f(row) for f in fns)
@@ -74,7 +74,7 @@ class NestedLoopJoin(PhysicalOperator):
             else None
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         right_rows = self.right.rows()
         fn = self._fn
         for lrow in self.left:
@@ -118,7 +118,7 @@ class HashJoin(PhysicalOperator):
         )
         self._n_keys = len(left_keys)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         table: dict = {}
         rkey_fns = self._rkey_fns
         for rrow in self.right:
@@ -162,7 +162,7 @@ class NestedLoopLeftJoin(PhysicalOperator):
             if condition is not None else None
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         right_rows = self.right.rows()
         nulls = (None,) * len(self.right.schema)
         fn = self._fn
@@ -206,7 +206,7 @@ class HashLeftJoin(PhysicalOperator):
             if residual is not None else None
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         table: dict = {}
         for rrow in self.right:
             key = tuple(f(rrow) for f in self._rkey_fns)
@@ -265,7 +265,7 @@ class SimilarityJoin(PhysicalOperator):
             if residual is not None else None
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         from repro.core.distance import resolve_metric
         from repro.geometry.rectangle import Rect
         from repro.index.rtree import RTree
@@ -321,7 +321,7 @@ class Concat(PhysicalOperator):
         self.inputs = list(inputs)
         self.schema = inputs[0].schema
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         for child in self.inputs:
             yield from child
 
@@ -344,7 +344,7 @@ class Sort(PhysicalOperator):
         self._key_fns = [e.bind(ctx) for e in key_exprs]
         self._ascending = list(ascending)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         rows = self.child.rows()
         # Stable multi-key sort: apply keys right-to-left.
         for fn, asc in reversed(list(zip(self._key_fns, self._ascending))):
@@ -385,7 +385,7 @@ class TopN(PhysicalOperator):
         self._key_fns = [e.bind(ctx) for e in key_exprs]
         self._ascending = list(ascending)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         import functools
         import heapq
 
@@ -421,7 +421,7 @@ class Limit(PhysicalOperator):
         self.schema = child.schema
         self.limit = limit
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         n = 0
         for row in self.child:
             if n >= self.limit:
@@ -443,7 +443,7 @@ class Distinct(PhysicalOperator):
         self.child = child
         self.schema = child.schema
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         seen: set = set()
         for row in self.child:
             key = tuple(_hashable(v) for v in row)

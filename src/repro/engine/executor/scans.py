@@ -17,7 +17,7 @@ class SeqScan(PhysicalOperator):
         self.alias = alias
         self.schema = table.schema.requalified(alias)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         return iter(self.table.rows)
 
     def describe(self) -> str:
@@ -44,7 +44,7 @@ class IndexScan(PhysicalOperator):
         self.include_high = include_high
         self.schema = table.schema.requalified(alias)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         rows = self.table.rows
         for row_id in self.index.row_ids(
             self.low, self.high, self.include_low, self.include_high
@@ -77,7 +77,7 @@ class SubqueryScan(PhysicalOperator):
         self.alias = alias
         self.schema = child.schema.requalified(alias)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         return iter(self.child)
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
@@ -93,7 +93,7 @@ class DualScan(PhysicalOperator):
     def __init__(self) -> None:
         self.schema = Schema([])
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         yield ()
 
     def describe(self) -> str:
@@ -107,7 +107,7 @@ class ValuesScan(PhysicalOperator):
         self._rows = rows
         self.schema = schema
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         return iter(self._rows)
 
     def describe(self) -> str:

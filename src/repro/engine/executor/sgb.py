@@ -20,7 +20,8 @@ aggregate is a planning error (caught upstream).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Sequence, Tuple
+import hashlib
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import datetime as _dt
 
@@ -86,7 +87,25 @@ class SGBAggregate(PhysicalOperator):
         columns += [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
         self.schema = Schema(columns)
 
-    def _make_operator(self):
+    def _partition_seed(self, pkey: tuple) -> int:
+        """Deterministic per-partition RNG seed.
+
+        Every partition used to receive ``config.seed`` verbatim, so with
+        ``tiebreak='random'`` all partitions replayed the *same* random
+        stream and made correlated JOIN-ANY choices.  Mixing in a stable
+        digest of the partition key decorrelates partitions while keeping
+        full-query results reproducible run-to-run (``hash()`` is salted
+        per process and therefore unusable here).
+        """
+        if not pkey:
+            return self.config.seed
+        digest = hashlib.blake2b(
+            repr(pkey).encode("utf-8"), digest_size=8
+        ).digest()
+        return self.config.seed ^ int.from_bytes(digest, "big")
+
+    def _make_operator(self, pkey: tuple = ()):
+        bag = self._obs.bag if self._obs is not None else None
         if self.mode == "all":
             return SGBAllOperator(
                 eps=self.eps,
@@ -94,15 +113,17 @@ class SGBAggregate(PhysicalOperator):
                 on_overlap=self.on_overlap,
                 strategy=self.config.all_strategy,
                 tiebreak=self.config.tiebreak,
-                seed=self.config.seed,
+                seed=self._partition_seed(pkey),
+                metrics=bag,
             )
         return SGBAnyOperator(
             eps=self.eps,
             metric=self.metric,
             strategy=self.config.any_strategy,
+            metrics=bag,
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         # Partition rows by the (extension) equality keys; the similarity
         # operator runs independently within each partition.  Without a
         # PARTITION BY clause there is exactly one partition.
@@ -110,11 +131,15 @@ class SGBAggregate(PhysicalOperator):
         partition_order: List[tuple] = []
         key_fns = self._key_fns
         partition_fns = self._partition_fns
+        bag = self._obs.bag if self._obs is not None else None
         for row in self.child:
             coords = tuple(f(row) for f in key_fns)
             if any(c is None for c in coords):
                 # NULL grouping attributes cannot satisfy a distance
-                # predicate; such rows are excluded from similarity grouping.
+                # predicate; such rows are excluded from similarity grouping
+                # (diverges from vanilla GROUP BY — see docs/sql_dialect.md).
+                if bag is not None:
+                    bag.incr("rows_skipped_null")
                 continue
             try:
                 point = tuple(_coordinate(c) for c in coords)
@@ -135,7 +160,7 @@ class SGBAggregate(PhysicalOperator):
         specs = self._specs
         for pkey in partition_order:
             points, spool = partitions[pkey]
-            operator = self._make_operator()
+            operator = self._make_operator(pkey)
             operator.add_many(points)
             result = operator.finalize()
             group_accs: dict = {}
@@ -182,13 +207,16 @@ class SGBAroundAggregate(PhysicalOperator):
             [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         spool: List[tuple] = []
         points: List[tuple] = []
         key_fns = self._key_fns
+        bag = self._obs.bag if self._obs is not None else None
         for row in self.child:
             coords = tuple(f(row) for f in key_fns)
             if any(c is None for c in coords):
+                if bag is not None:
+                    bag.incr("rows_skipped_null")
                 continue
             try:
                 points.append(tuple(_coordinate(c) for c in coords))
@@ -240,7 +268,7 @@ class SGB1DAggregate(PhysicalOperator):
                  agg_calls: Sequence[AggCall],
                  ctx_factory: Callable[[Schema], BindContext],
                  separation: float = 0.0,
-                 diameter: float = None,
+                 diameter: Optional[float] = None,
                  centers: Sequence[float] = ()):
         if kind not in ("segment", "around"):
             raise ExecutionError(f"unknown 1-D SGB kind {kind!r}")
@@ -256,13 +284,16 @@ class SGB1DAggregate(PhysicalOperator):
             [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
         )
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _execute(self) -> Iterator[tuple]:
         spool: List[tuple] = []
         values: List[float] = []
         key_fn = self._key_fn
+        bag = self._obs.bag if self._obs is not None else None
         for row in self.child:
             value = key_fn(row)
             if value is None:
+                if bag is not None:
+                    bag.incr("rows_skipped_null")
                 continue
             try:
                 values.append(_coordinate(value))

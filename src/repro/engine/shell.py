@@ -93,7 +93,12 @@ class Shell:
             return f"ERROR: {exc}"
         elapsed = time.perf_counter() - start
         if isinstance(result, QueryResult):
-            out = format_table(result)
+            if result.columns == ["QUERY PLAN"]:
+                # EXPLAIN [ANALYZE] output: print the plan lines verbatim
+                # (boxing them in a one-column table would mangle indent).
+                out = "\n".join(row[0] for row in result.rows)
+            else:
+                out = format_table(result)
         elif isinstance(result, StatementResult):
             out = result.status
         else:  # pragma: no cover - defensive

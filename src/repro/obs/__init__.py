@@ -1,0 +1,37 @@
+"""repro.obs — lightweight observability for the SGB engine.
+
+Spans, per-node counter bags, and the plan instrumentation behind
+``EXPLAIN ANALYZE``.  See :mod:`repro.obs.metrics` for the counter
+vocabulary shared with the streaming ``StreamStats`` and
+:mod:`repro.obs.explain` for the plan-level API.
+"""
+
+from repro.obs.explain import (
+    AnalyzeResult,
+    NodeMetrics,
+    attach,
+    detach,
+    plan_metrics,
+    render_analyze,
+)
+from repro.obs.metrics import (
+    EXEC_COUNTER_FIELDS,
+    SGB_COUNTER_FIELDS,
+    MetricBag,
+    Span,
+    span,
+)
+
+__all__ = [
+    "AnalyzeResult",
+    "EXEC_COUNTER_FIELDS",
+    "MetricBag",
+    "NodeMetrics",
+    "SGB_COUNTER_FIELDS",
+    "Span",
+    "attach",
+    "detach",
+    "plan_metrics",
+    "render_analyze",
+    "span",
+]

@@ -1,0 +1,176 @@
+"""Plan-level instrumentation behind ``EXPLAIN ANALYZE``.
+
+Every :class:`~repro.engine.executor.base.PhysicalOperator` funnels its
+iteration through ``__iter__``, which checks a per-instance ``_obs`` slot:
+``None`` (the default) returns the raw iterator untouched, so ordinary
+execution pays nothing.  :func:`attach` walks a plan tree and hangs a
+:class:`NodeMetrics` on every node; a single execution of the root then
+yields, per node, rows out, loop count, inclusive wall time (like
+PostgreSQL's EXPLAIN ANALYZE, times include the children), and whatever
+SGB counters the node's operators put into its :class:`MetricBag`.
+
+:func:`render_analyze` formats the annotated tree as text and
+:func:`plan_metrics` exports it as a JSON-ready dict — the
+``metrics_json()`` trajectory format the benchmark harness writes to disk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import MetricBag
+
+
+class NodeMetrics:
+    """Per-plan-node execution accounting (rows, loops, time, counters)."""
+
+    __slots__ = ("rows_out", "loops", "time_s", "bag")
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+        self.loops = 0
+        self.time_s = 0.0
+        self.bag = MetricBag()
+
+    def record(self, it: Iterator[tuple]) -> Iterator[tuple]:
+        """Wrap one pass over the node's output, timing time-to-next-row.
+
+        The accumulated time is *inclusive* of the node's children (they
+        run inside its ``next()``), mirroring PostgreSQL.  Time the
+        consumer spends between rows is not charged to the node.
+        """
+        self.loops += 1
+        clock = time.perf_counter
+        t0 = clock()
+        for row in it:
+            self.time_s += clock() - t0
+            self.rows_out += 1
+            yield row
+            t0 = clock()
+        self.time_s += clock() - t0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rows": self.rows_out,
+            "loops": self.loops,
+            "time_ms": self.time_s * 1000.0,
+        }
+        counters = self.bag.as_dict()
+        if counters:
+            out["counters"] = counters
+        return out
+
+
+def attach(plan) -> List[NodeMetrics]:
+    """Hang a fresh NodeMetrics on every node of ``plan`` (pre-order)."""
+    attached: List[NodeMetrics] = []
+
+    def walk(node) -> None:
+        node._obs = NodeMetrics()
+        attached.append(node._obs)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return attached
+
+
+def detach(plan) -> None:
+    """Remove instrumentation so later executions run uninstrumented."""
+
+    def walk(node) -> None:
+        node._obs = None
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+
+
+def render_analyze(plan) -> str:
+    """Format an executed, instrumented plan like EXPLAIN ANALYZE output."""
+    lines: List[str] = []
+
+    def walk(node, indent: int) -> None:
+        obs: Optional[NodeMetrics] = getattr(node, "_obs", None)
+        pad = "  " * indent
+        if obs is None:  # pragma: no cover - defensive
+            lines.append(f"{pad}-> {node.describe()}")
+        else:
+            lines.append(
+                f"{pad}-> {node.describe()} "
+                f"(actual rows={obs.rows_out} loops={obs.loops}, "
+                f"time={obs.time_s * 1000.0:.2f} ms)"
+            )
+            counters = obs.bag.as_dict()
+            if counters:
+                body = " ".join(
+                    f"{k}={_fmt(v)}" for k, v in sorted(counters.items())
+                )
+                lines.append(f"{pad}     {body}")
+        for child in node.children():
+            walk(child, indent + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def plan_metrics(plan) -> Dict[str, Any]:
+    """Export an instrumented plan as a nested JSON-ready dict."""
+
+    def walk(node) -> Dict[str, Any]:
+        obs: Optional[NodeMetrics] = getattr(node, "_obs", None)
+        out: Dict[str, Any] = {"node": node.describe()}
+        if obs is not None:
+            out.update(obs.as_dict())
+        kids = [walk(child) for child in node.children()]
+        if kids:
+            out["children"] = kids
+        return out
+
+    return walk(plan)
+
+
+class AnalyzeResult:
+    """Rows plus execution metrics from :meth:`Database.analyze`.
+
+    ``rows``/``columns`` are the ordinary query result; ``plan_text`` is
+    the EXPLAIN ANALYZE rendering; ``metrics`` the nested per-node dict.
+    """
+
+    def __init__(self, columns: List[str], rows: List[tuple],
+                 plan_text: str, metrics: Dict[str, Any]):
+        self.columns = columns
+        self.rows = rows
+        self.plan_text = plan_text
+        self.metrics = metrics
+
+    def metrics_json(self, indent: Optional[int] = None) -> str:
+        """The per-node metrics tree as a JSON string (for bench output)."""
+        return json.dumps(self.metrics, indent=indent, sort_keys=True)
+
+    def node_counters(self) -> Dict[str, float]:
+        """All node counter bags folded into one flat dict (sums)."""
+        totals: Dict[str, float] = {}
+
+        def walk(node: Dict[str, Any]) -> None:
+            for name, value in node.get("counters", {}).items():
+                totals[name] = totals.get(name, 0) + value
+            for child in node.get("children", ()):
+                walk(child)
+
+        walk(self.metrics)
+        return totals
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyzeResult({self.columns}, {len(self.rows)} rows, "
+            f"{len(self.plan_text.splitlines())} plan lines)"
+        )

@@ -1,0 +1,173 @@
+"""Counter and span primitives for operator observability.
+
+The paper's evaluation (§8) argues for SGB through measured operator
+internals — distance computations avoided, index probes issued, groups
+touched — so the engine needs a uniform way to collect exactly those
+numbers.  This module provides the two primitives everything else is built
+on:
+
+* :class:`MetricBag` — a per-node bag of monotonic counters and wall-time
+  accumulators.  Operators hold ``metrics=None`` by default and guard every
+  counting site with ``if bag is not None``, so the instrumentation costs
+  nothing unless a caller (EXPLAIN ANALYZE, a benchmark harness) attaches a
+  bag.
+* :func:`span` / :class:`Span` — a context-manager timer that adds its
+  elapsed wall time to a named accumulator in a bag.
+
+:data:`SGB_COUNTER_FIELDS` is the canonical counter vocabulary, shared by
+the streaming engines' :class:`~repro.streaming.stats.StreamStats` (which
+imports its field tuple from here) and the batch
+:class:`~repro.core.sgb_all.SGBAllOperator` /
+:class:`~repro.core.sgb_any.SGBAnyOperator`, so per-batch stream deltas and
+per-query EXPLAIN ANALYZE rows report the same names for the same things.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+#: Canonical SGB counter names, in reporting order.  Shared between the
+#: streaming StreamStats and the batch operators' MetricBag entries:
+#:
+#: points
+#:     Points ingested by the operator.
+#: groups_created
+#:     Groups opened (SGB-Any: one per point, pre-merge; SGB-All: new
+#:     cliques started, including FORM-NEW-GROUP regrouping passes).
+#: groups_merged
+#:     SGB-Any component merges (unions that reduced the component count).
+#: groups_dropped
+#:     SGB-All groups emptied by ELIMINATE / FORM-NEW-GROUP overlap
+#:     processing.
+#: eliminated / deferred
+#:     Points dropped or deferred by the ON-OVERLAP clause.
+#: index_probes
+#:     FindCloseGroups / neighbor probes issued (R-tree or grid window
+#:     queries for the indexed strategies; one per scan for the naive ones).
+#: candidates
+#:     Entries returned by those probes before exact verification (groups
+#:     scanned, for the linear strategies).
+#: distance_computations
+#:     Similarity-predicate evaluations.  Attaching a MetricBag wraps the
+#:     operator's metric in a CountingMetric automatically.
+SGB_COUNTER_FIELDS = (
+    "points",
+    "groups_created",
+    "groups_merged",
+    "groups_dropped",
+    "eliminated",
+    "deferred",
+    "index_probes",
+    "candidates",
+    "distance_computations",
+)
+
+#: Executor-level counters (maintained by plan nodes, not the core
+#: operators).  ``rows_skipped_null`` counts input rows discarded because a
+#: grouping attribute was NULL — a deliberate divergence from vanilla GROUP
+#: BY's single-NULL-group semantics (see docs/sql_dialect.md).
+EXEC_COUNTER_FIELDS = ("rows_skipped_null",)
+
+
+class MetricBag:
+    """Monotonic counters plus named wall-time accumulators.
+
+    >>> bag = MetricBag()
+    >>> bag.incr("index_probes")
+    >>> bag.incr("candidates", 4)
+    >>> bag.get("candidates")
+    4
+    >>> with bag.span("finalize"):
+    ...     pass
+    >>> bag.time("finalize") >= 0.0
+    True
+    """
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, float] = {}
+
+    # -- counters ----------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    # -- timers ------------------------------------------------------------
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def time(self, name: str, default: float = 0.0) -> float:
+        return self.timings.get(name, default)
+
+    def span(self, name: str) -> "Span":
+        return Span(self, name)
+
+    # -- aggregation -------------------------------------------------------
+    def merge(self, other: "MetricBag") -> "MetricBag":
+        """Fold ``other``'s counters and timings into this bag."""
+        for name, value in other.counters.items():
+            self.incr(name, value)
+        for name, seconds in other.timings.items():
+            self.add_time(name, seconds)
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict: counters verbatim, timings suffixed with ``_s``."""
+        out: Dict[str, float] = dict(self.counters)
+        for name, seconds in self.timings.items():
+            out[f"{name}_s"] = seconds
+        return out
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.timings)
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.as_dict().items())
+        )
+        return f"MetricBag({body})"
+
+
+class Span:
+    """Context manager adding its elapsed wall time to a bag entry."""
+
+    __slots__ = ("_bag", "_name", "_t0")
+
+    def __init__(self, bag: MetricBag, name: str):
+        self._bag = bag
+        self._name = name
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._t0 is not None
+        self._bag.add_time(self._name, time.perf_counter() - self._t0)
+
+
+def span(bag: Optional[MetricBag], name: str):
+    """``with span(bag, "phase"):`` — a no-op when ``bag`` is None."""
+    if bag is None:
+        return _NULL_SPAN
+    return Span(bag, name)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()

@@ -730,3 +730,11 @@ class Insert:
         self.table = table
         self.rows = rows
         self.columns = columns
+
+
+class Explain:
+    """``EXPLAIN [ANALYZE] <query>`` — plan (and optionally run) a query."""
+
+    def __init__(self, query, analyze: bool = False):
+        self.query = query
+        self.analyze = analyze

@@ -146,7 +146,16 @@ class Parser:
             return self._drop_table()
         if self._check_ident("insert"):
             return self._insert()
+        if self._check_ident("explain"):
+            return self._explain()
         raise ParseError(f"unexpected token {self._peek().value!r}")
+
+    def _explain(self) -> ast.Explain:
+        self._expect_ident("explain")
+        analyze = bool(self._accept_ident("analyze"))
+        if not self._check_ident("select"):
+            raise ParseError("EXPLAIN supports SELECT queries only")
+        return ast.Explain(self._select_expr(), analyze=analyze)
 
     def _create_table(self) -> ast.CreateTable:
         self._expect_ident("create")

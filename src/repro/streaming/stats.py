@@ -16,19 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.obs.metrics import SGB_COUNTER_FIELDS
 
-#: Counter attributes, in reporting order.
-_FIELDS = (
-    "points",
-    "groups_created",
-    "groups_merged",
-    "groups_dropped",
-    "eliminated",
-    "deferred",
-    "index_probes",
-    "candidates",
-    "distance_computations",
-)
+#: Counter attributes, in reporting order — the shared SGB counter
+#: vocabulary, so streaming snapshots and batch ``MetricBag`` exports use
+#: the same field names.
+_FIELDS = SGB_COUNTER_FIELDS
 
 
 class StreamStats:

@@ -1,0 +1,59 @@
+"""eps == 0 degeneracy: SGB-Any must reduce to equality grouping.
+
+The batch API documents eps=0 as grouping exactly-equal points together;
+the grid strategy cannot represent a zero cell side, so the operator falls
+back to the naive scan for that strategy (see SGBAnyOperator).  All three
+strategies must agree on the degeneracy.
+"""
+
+import pytest
+
+from repro.core.api import sgb_any
+from repro.core.sgb_any import SGBAnyOperator
+
+STRATEGIES = ["all-pairs", "index", "grid"]
+
+POINTS = [
+    (0.0, 0.0),
+    (1.0, 1.0),
+    (0.0, 0.0),  # duplicate of the first point
+    (1.0, 1.0),  # duplicate of the second
+    (2.0, 2.0),
+    (0.0, 0.0),
+]
+
+
+def _labels(strategy):
+    return sgb_any(POINTS, eps=0, strategy=strategy).labels
+
+
+class TestEpsZero:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_equality_grouping(self, strategy):
+        labels = _labels(strategy)
+        # Exactly-equal points share a group; everything else is singleton.
+        assert labels[0] == labels[2] == labels[5]
+        assert labels[1] == labels[3]
+        assert len({labels[0], labels[1], labels[4]}) == 3
+
+    def test_all_strategies_agree(self):
+        reference = _labels(STRATEGIES[0])
+        for strategy in STRATEGIES[1:]:
+            assert _labels(strategy) == reference
+
+    def test_grid_does_not_raise_via_operator(self):
+        op = SGBAnyOperator(eps=0, strategy="grid")
+        op.add_many(POINTS)
+        result = op.finalize()
+        assert result.n_groups == 3
+
+    def test_sql_grid_strategy_eps_zero(self):
+        from repro import Database
+
+        db = Database(sgb_any_strategy="grid")
+        db.execute("CREATE TABLE pts (x float)")
+        db.execute("INSERT INTO pts VALUES (1), (1), (2)")
+        rows = db.query(
+            "SELECT count(*) FROM pts GROUP BY x DISTANCE-TO-ANY L2 WITHIN 0"
+        ).rows
+        assert sorted(rows) == [(1,), (2,)]

@@ -18,9 +18,19 @@ class TestParameterValidation:
         with pytest.raises(InvalidParameterError):
             SGBAnyOperator(eps=1, strategy="kdtree")
 
-    def test_grid_requires_positive_eps(self):
+    def test_grid_eps_zero_falls_back_to_naive(self):
+        # eps == 0 is the equality-grouping degeneracy; the grid strategy
+        # cannot represent it (cell side is eps), so the operator silently
+        # takes the naive path instead of raising.
+        op = SGBAnyOperator(eps=0, strategy="grid")
+        assert op.strategy_name == "all-pairs"
+
+    def test_grid_strategy_itself_rejects_eps_zero(self):
+        from repro.core.sgb_any import GridAnyStrategy
+        from repro.core.distance import resolve_metric
+
         with pytest.raises(InvalidParameterError):
-            SGBAnyOperator(eps=0, strategy="grid")
+            GridAnyStrategy(0.0, resolve_metric("l2"))
 
     def test_dimension_consistency(self):
         op = SGBAnyOperator(eps=1)

@@ -1,0 +1,74 @@
+"""Per-partition RNG seeding for random JOIN-ANY arbitration.
+
+Regression: every partition used to be handed ``config.seed`` verbatim, so
+with ``tiebreak='random'`` all partitions replayed the identical random
+stream — partitions holding the same point set always made the same
+JOIN-ANY choices.  Seeds are now derived per partition key, which must (a)
+decorrelate partitions and (b) stay reproducible run-to-run.
+"""
+
+from repro import Database
+
+# Each partition holds the same 1-D triple {0, 3, 1.5} with eps=2: the ends
+# are 3 apart (two separate groups) and the middle point overlaps both, so
+# JOIN-ANY flips an independent coin per partition.
+N_PARTITIONS = 12
+
+SQL = (
+    "SELECT region, count(*) FROM pts GROUP BY x "
+    "DISTANCE-TO-ALL L2 WITHIN 2 ON-OVERLAP JOIN-ANY "
+    "PARTITION BY region"
+)
+
+
+def _build(seed: int) -> Database:
+    db = Database(tiebreak="random", seed=seed)
+    db.execute("CREATE TABLE pts (region text, x float)")
+    values = ", ".join(
+        f"('p{i:02d}', {x})"
+        for i in range(N_PARTITIONS)
+        for x in (0.0, 3.0, 1.5)
+    )
+    db.execute(f"INSERT INTO pts VALUES {values}")
+    return db
+
+
+def _choices(db: Database):
+    """Per-partition group-size vectors, revealing each JOIN-ANY choice."""
+    out = {}
+    for region, count in db.query(SQL).rows:
+        out.setdefault(region, []).append(count)
+    return out
+
+
+class TestPerPartitionSeed:
+    def test_partitions_with_identical_points_are_decorrelated(self):
+        choices = _choices(_build(seed=0))
+        assert len(choices) == N_PARTITIONS
+        assert all(sorted(v) == [1, 2] for v in choices.values())
+        # Before the fix every partition replayed the same stream, making
+        # all 12 vectors identical.  Independent coins agree 12 times with
+        # probability 2^-11, so distinct outcomes must appear.
+        assert len({tuple(v) for v in choices.values()}) > 1
+
+    def test_results_reproducible_run_to_run(self):
+        assert _choices(_build(seed=7)) == _choices(_build(seed=7))
+
+    def test_seed_changes_the_arbitration(self):
+        runs = {tuple(sorted((k, tuple(v)) for k, v in
+                            _choices(_build(seed=s)).items()))
+                for s in range(6)}
+        assert len(runs) > 1
+
+    def test_unpartitioned_query_uses_base_seed(self):
+        # Without PARTITION BY the derivation must leave the configured
+        # seed untouched (single partition, pkey == ()).
+        for _ in range(2):
+            db = Database(tiebreak="random", seed=3)
+            db.execute("CREATE TABLE pts (x float)")
+            db.execute("INSERT INTO pts VALUES (0.0), (3.0), (1.5)")
+            rows = db.query(
+                "SELECT count(*) FROM pts GROUP BY x "
+                "DISTANCE-TO-ALL L2 WITHIN 2 ON-OVERLAP JOIN-ANY"
+            ).rows
+            assert sorted(rows) == [(1,), (2,)]

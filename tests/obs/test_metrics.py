@@ -1,0 +1,102 @@
+"""Unit tests for the repro.obs counter/span primitives."""
+
+import time
+
+from repro.obs import MetricBag, NodeMetrics, span
+from repro.obs.metrics import EXEC_COUNTER_FIELDS, SGB_COUNTER_FIELDS
+
+
+class TestMetricBag:
+    def test_empty_bag_is_falsy(self):
+        bag = MetricBag()
+        assert not bag
+        assert bag.as_dict() == {}
+
+    def test_incr_and_get(self):
+        bag = MetricBag()
+        bag.incr("points")
+        bag.incr("points", 4)
+        assert bag.get("points") == 5
+        assert bag.get("missing") == 0
+        assert bag.get("missing", -1) == -1
+        assert bag
+
+    def test_timings_suffixed_in_as_dict(self):
+        bag = MetricBag()
+        bag.add_time("ingest", 0.25)
+        bag.add_time("ingest", 0.25)
+        assert bag.time("ingest") == 0.5
+        assert bag.as_dict() == {"ingest_s": 0.5}
+
+    def test_merge_sums_counters_and_timings(self):
+        a = MetricBag()
+        a.incr("candidates", 3)
+        a.add_time("probe", 1.0)
+        b = MetricBag()
+        b.incr("candidates", 2)
+        b.incr("points")
+        b.add_time("probe", 0.5)
+        a.merge(b)
+        assert a.get("candidates") == 5
+        assert a.get("points") == 1
+        assert a.time("probe") == 1.5
+
+    def test_span_context_manager_accumulates(self):
+        bag = MetricBag()
+        with bag.span("work"):
+            time.sleep(0.001)
+        assert bag.time("work") > 0
+
+    def test_module_span_tolerates_none_bag(self):
+        # The None-bag span is the zero-overhead path operators use when
+        # uninstrumented; it must be a no-op, not an error.
+        with span(None, "work"):
+            pass
+        bag = MetricBag()
+        with span(bag, "work"):
+            pass
+        assert "work_s" in bag.as_dict()
+
+
+class TestCounterVocabulary:
+    def test_sgb_fields_match_stream_stats(self):
+        # StreamStats and the batch MetricBag share one field vocabulary.
+        from repro.streaming.stats import StreamStats
+
+        stats = StreamStats()
+        for field in SGB_COUNTER_FIELDS:
+            assert hasattr(stats, field)
+
+    def test_exec_fields_disjoint_from_sgb_fields(self):
+        assert not set(EXEC_COUNTER_FIELDS) & set(SGB_COUNTER_FIELDS)
+
+
+class TestNodeMetrics:
+    def test_record_counts_rows_and_loops(self):
+        nm = NodeMetrics()
+        assert list(nm.record(iter([(1,), (2,), (3,)]))) == [(1,), (2,), (3,)]
+        assert nm.rows_out == 3
+        assert nm.loops == 1
+        list(nm.record(iter([(4,)])))
+        assert nm.rows_out == 4
+        assert nm.loops == 2
+
+    def test_record_times_producer_not_consumer(self):
+        def rows():
+            yield (1,)
+            yield (2,)
+
+        nm = NodeMetrics()
+        for _ in nm.record(rows()):
+            time.sleep(0.01)  # consumer delay must not be charged
+        assert nm.time_s < 0.01
+
+    def test_as_dict_omits_empty_counters(self):
+        nm = NodeMetrics()
+        list(nm.record(iter([])))
+        d = nm.as_dict()
+        assert d["rows"] == 0
+        assert d["loops"] == 1
+        assert "counters" not in d
+        nm.bag.incr("rows_skipped_null")
+        assert nm.as_dict()["counters"] == {"rows_skipped_null": 1}
