@@ -28,6 +28,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.bench.harness import bench_stamp  # noqa: E402
 from repro.engine.database import Database  # noqa: E402
 
 ALL_STRATEGIES = ("all-pairs", "bounds-checking", "index")
@@ -131,6 +132,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "operator-counter-trajectories",
+        "stamp": bench_stamp(),
         "config": {
             "sizes": sizes,
             "eps": args.eps,

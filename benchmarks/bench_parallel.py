@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Kernel-backend and partition-parallel speedup curves.
+
+Two sweeps over Fig. 9-style uniform workloads (normalized 2-D points,
+L2, the grid strategy):
+
+* **backend** — the same single-partition SGB-Any run under every
+  available kernel backend (``python`` always; ``numpy`` when installed).
+  Memberships must agree exactly; the interesting number is the numpy
+  speedup at n >= 20k.
+* **parallel** — one multi-partition workload executed with
+  ``parallel`` ∈ {1, 2, 4} worker processes through the array API's
+  ``partitions=`` path.  Labels are bit-identical by construction (the
+  per-partition blake2b seeds do not depend on where a partition runs),
+  so the sweep asserts that and reports the wall-clock curve.  Speedup is
+  bounded by the CPUs actually present — the payload's ``stamp`` records
+  ``cpu_count`` so a 1-core CI box reporting ~1x is legible.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+        [--n N] [--eps E] [--mode any|all] [--partitions P]
+        [--workers 1,2,4] [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import kernels  # noqa: E402
+from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.bench.harness import bench_stamp  # noqa: E402
+from repro.core.api import sgb_all, sgb_any  # noqa: E402
+
+
+def _run(mode, points, eps, seed=0, **kwargs):
+    if mode == "any":
+        return sgb_any(points, eps, strategy="grid", **kwargs)
+    return sgb_all(points, eps, strategy="index", tiebreak="random",
+                   seed=seed, **kwargs)
+
+
+def backend_sweep(mode: str, n: int, eps: float):
+    """Same workload under every available backend; memberships must agree."""
+    points = uniform_points(n)
+    rows = []
+    partitions = {}
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            t0 = time.perf_counter()
+            result = _run(mode, points, eps)
+            elapsed = time.perf_counter() - t0
+        partitions[backend] = result.partition()
+        rows.append({
+            "backend": backend,
+            "mode": mode,
+            "n": n,
+            "eps": eps,
+            "n_groups": result.n_groups,
+            "wall_time_s": elapsed,
+        })
+        print(f"[backend {backend:>6}] n={n}: {elapsed:8.3f} s "
+              f"({result.n_groups} groups)")
+    agree = len(set(map(repr, partitions.values()))) == 1
+    base = next(r for r in rows if r["backend"] == "python")["wall_time_s"]
+    for row in rows:
+        row["speedup_vs_python"] = base / row["wall_time_s"]
+        row["partition_agrees"] = agree
+    return rows, agree
+
+
+def parallel_sweep(mode: str, n: int, eps: float, n_partitions: int,
+                   workers_list):
+    """One multi-partition workload across worker counts; labels must be
+    bit-identical to the serial run."""
+    points = uniform_points(n)
+    keys = [i % n_partitions for i in range(n)]
+    rows = []
+    baseline_labels = None
+    base_time = None
+    for workers in workers_list:
+        t0 = time.perf_counter()
+        result = _run(mode, points, eps, partitions=keys, parallel=workers)
+        elapsed = time.perf_counter() - t0
+        if baseline_labels is None:
+            baseline_labels = result.labels
+            base_time = elapsed
+        identical = result.labels == baseline_labels
+        rows.append({
+            "mode": mode,
+            "n": n,
+            "eps": eps,
+            "n_partitions": n_partitions,
+            "workers": workers,
+            "n_groups": result.n_groups,
+            "wall_time_s": elapsed,
+            "speedup_vs_serial": base_time / elapsed,
+            "labels_identical_to_serial": identical,
+        })
+        print(f"[parallel w={workers}] n={n} P={n_partitions}: "
+              f"{elapsed:8.3f} s speedup {base_time / elapsed:5.2f}x "
+              f"identical={identical}")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="points for both sweeps (default 20000; "
+                             "2000 with --quick)")
+    # uniform_points spans a 20x20 square; eps=1.0 matches the eps=0.05
+    # unit-square density regime of Figure 9's mid-range.
+    parser.add_argument("--eps", type=float, default=1.0)
+    parser.add_argument("--mode", choices=("any", "all"), default="any")
+    parser.add_argument("--partitions", type=int, default=8)
+    parser.add_argument("--workers", type=str, default="1,2,4",
+                        help="comma-separated worker counts")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: BENCH_parallel.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (2000 if args.quick else 20000)
+    workers_list = [int(w) for w in args.workers.split(",")]
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    )
+
+    backend_rows, agree = backend_sweep(args.mode, n, args.eps)
+    parallel_rows = parallel_sweep(args.mode, n, args.eps, args.partitions,
+                                   workers_list)
+
+    numpy_row = next(
+        (r for r in backend_rows if r["backend"] == "numpy"), None
+    )
+    best_parallel = max(r["speedup_vs_serial"] for r in parallel_rows)
+    payload = {
+        "benchmark": "kernel-backends-and-partition-parallel",
+        "stamp": bench_stamp(),
+        "config": {
+            "n": n,
+            "eps": args.eps,
+            "mode": args.mode,
+            "n_partitions": args.partitions,
+            "workers": workers_list,
+            "quick": args.quick,
+        },
+        "backend_results": backend_rows,
+        "parallel_results": parallel_rows,
+        "summary": {
+            "numpy_speedup_vs_python":
+                numpy_row["speedup_vs_python"] if numpy_row else None,
+            "best_parallel_speedup": best_parallel,
+            "memberships_agree": agree,
+            "labels_identical": all(
+                r["labels_identical_to_serial"] for r in parallel_rows
+            ),
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if not agree:
+        print("ERROR: backends disagree on the grouping", file=sys.stderr)
+        return 1
+    if not payload["summary"]["labels_identical"]:
+        print("ERROR: parallel labels diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

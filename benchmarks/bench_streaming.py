@@ -34,6 +34,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.bench.harness import bench_stamp  # noqa: E402
 from repro.core.api import sgb_all, sgb_any, sgb_stream  # noqa: E402
 
 
@@ -133,6 +134,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "streaming-vs-batch-recompute",
+        "stamp": bench_stamp(),
         "config": {
             "n": n,
             "eps": args.eps,

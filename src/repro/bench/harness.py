@@ -7,7 +7,10 @@ the corresponding paper table/figure series (methods × parameter axis).
 
 from __future__ import annotations
 
+import os
+import subprocess
 import time
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
@@ -16,6 +19,33 @@ def time_call(fn: Callable[[], Any]) -> Tuple[float, Any]:
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
+
+
+def bench_stamp() -> Dict[str, Any]:
+    """Provenance stamp every ``BENCH_*.json`` payload carries.
+
+    Numbers without the commit they came from, the kernel backend that
+    produced them, and the core count of the machine are not comparable
+    across runs; the bench scripts attach this dict under ``"stamp"``.
+    ``commit`` is None outside a git checkout (e.g. an sdist install).
+    """
+    try:
+        commit: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        commit = None
+    from repro import kernels
+
+    return {
+        "commit": commit,
+        "backend": kernels.active_backend(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def normalize_points(

@@ -16,9 +16,15 @@ at the door with a typed error instead.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Iterator, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import kernels
 from repro.core.distance import Metric
+from repro.core.parallel import (
+    partition_seed as _partition_seed,
+    resolve_workers as _resolve_workers,
+    run_partitions as _run_partitions,
+)
 from repro.core.result import GroupingResult
 from repro.core.sgb_all import SGBAllOperator
 from repro.core.sgb_any import SGBAnyOperator
@@ -101,6 +107,66 @@ def validated_points(
 
 
 # ----------------------------------------------------------------------
+# partitioned execution
+# ----------------------------------------------------------------------
+def _run_partitioned(
+    mode: str,
+    points: Iterable[Sequence[float]],
+    partitions: Iterable,
+    parallel: int,
+    op_kwargs: dict,
+    base_seed: Optional[int] = None,
+) -> GroupingResult:
+    """Group each partition independently, optionally on a process pool.
+
+    ``partitions`` assigns every point a hashable partition key; points
+    never group across keys (the array-API analogue of SQL PARTITION BY).
+    With ``base_seed`` set (SGB-All), each partition draws from its own
+    blake2b-derived RNG stream, so labels are bit-identical whatever
+    ``parallel`` is.  Global labels number groups in order of first
+    appearance of each partition, each partition's groups keeping their
+    local order; ``-1`` (eliminated) passes through.
+    """
+    pts = list(validated_points(points))
+    keys = list(partitions)
+    if len(keys) != len(pts):
+        raise InvalidParameterError(
+            f"partitions has {len(keys)} entries for {len(pts)} points"
+        )
+    buckets: dict = {}
+    order: list = []
+    for index, (pt, key) in enumerate(zip(pts, keys)):
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = ([], [])  # (points, original row indices)
+            buckets[key] = bucket
+            order.append(key)
+        bucket[0].append(pt)
+        bucket[1].append(index)
+    tasks = []
+    for key in order:
+        kwargs = dict(op_kwargs)
+        if base_seed is not None:
+            kwargs["seed"] = _partition_seed(base_seed, (key,))
+        tasks.append((mode, buckets[key][0], kwargs))
+    results = _run_partitions(
+        tasks,
+        _resolve_workers(parallel),
+        backend=kernels.active_backend(),
+    )
+    labels: List[int] = [0] * len(pts)
+    offset = 0
+    for key, (part_labels, _, _) in zip(order, results):
+        local_max = -1
+        for index, label in zip(buckets[key][1], part_labels):
+            labels[index] = label + offset if label >= 0 else -1
+            if label > local_max:
+                local_max = label
+        offset += local_max + 1
+    return GroupingResult(labels, pts)
+
+
+# ----------------------------------------------------------------------
 # batch entry points
 # ----------------------------------------------------------------------
 def sgb_all(
@@ -114,14 +180,23 @@ def sgb_all(
     use_hull: bool = True,
     rtree_max_entries: int = 8,
     max_recursion: Optional[int] = None,
+    partitions: Optional[Iterable] = None,
+    parallel: int = 0,
 ) -> GroupingResult:
     """Group ``points`` under the distance-to-all (clique) semantics.
 
     Parameters mirror :class:`~repro.core.sgb_all.SGBAllOperator`; see the
     paper's Section 6 for the algorithmics.  The result assigns every input
     point a group label (or ``-1`` when dropped by ``on_overlap="eliminate"``).
+
+    ``partitions`` (one hashable key per point) confines grouping to
+    within each partition, and ``parallel`` dispatches the partitions to
+    worker processes (``0``/``1`` serial, ``n > 1`` a pool of ``n``,
+    negative one per CPU).  Each partition grouping is seeded from
+    ``seed`` and a digest of its key, so the labels do not depend on
+    ``parallel``.
     """
-    op = SGBAllOperator(
+    op_kwargs = dict(
         eps=check_eps(eps),
         metric=metric,
         on_overlap=on_overlap,
@@ -132,6 +207,11 @@ def sgb_all(
         rtree_max_entries=rtree_max_entries,
         max_recursion=max_recursion,
     )
+    if partitions is not None:
+        return _run_partitioned(
+            "all", points, partitions, parallel, op_kwargs, base_seed=seed
+        )
+    op = SGBAllOperator(**op_kwargs)
     return op.add_many(validated_points(points)).finalize()
 
 
@@ -141,18 +221,28 @@ def sgb_any(
     metric: Union[str, Metric] = "l2",
     strategy: str = "index",
     rtree_max_entries: int = 16,
+    partitions: Optional[Iterable] = None,
+    parallel: int = 0,
 ) -> GroupingResult:
     """Group ``points`` under the distance-to-any (connectivity) semantics.
 
     Output groups are the connected components of the ε-neighbourhood graph
     (paper Section 7); the result is independent of input order.
+
+    ``partitions`` / ``parallel`` behave as in :func:`sgb_all`: one
+    hashable key per point confines components to a partition, and
+    ``parallel > 1`` runs partitions on a process pool with identical
+    output.
     """
-    op = SGBAnyOperator(
+    op_kwargs = dict(
         eps=check_eps(eps),
         metric=metric,
         strategy=strategy,
         rtree_max_entries=rtree_max_entries,
     )
+    if partitions is not None:
+        return _run_partitioned("any", points, partitions, parallel, op_kwargs)
+    op = SGBAnyOperator(**op_kwargs)
     return op.add_many(validated_points(points)).finalize()
 
 

@@ -122,6 +122,23 @@ class MinkowskiMetric(Metric):
             )
         return sum(abs(a - b) ** self.p for a, b in zip(p, q)) ** (1.0 / self.p)
 
+    def within(self, p: PointLike, q: PointLike, eps: float) -> bool:
+        # Compare powered sums (Σ|a-b|^p vs eps^p) to skip the 1/p root,
+        # bailing out once the running sum exceeds the bound — the Lp
+        # analogue of EuclideanMetric's squared-distance early exit.
+        if len(p) != len(q):
+            raise DimensionMismatchError(
+                f"points have different dimensions: {len(p)} vs {len(q)}"
+            )
+        order = self.p
+        limit = eps ** order
+        total = 0.0
+        for a, b in zip(p, q):
+            total += abs(a - b) ** order
+            if total > limit:
+                return False
+        return True
+
 
 #: Singleton instances; operators accept either these or the string names.
 L2 = EuclideanMetric()

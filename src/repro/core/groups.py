@@ -18,18 +18,23 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.core.distance import Metric
 from repro.geometry.convex_hull import IncrementalHull
 from repro.geometry.rectangle import Rect, eps_all_rect
 
 Point = Tuple[float, ...]
 
+#: Member count below which a vectorized group scan loses to the plain
+#: loop (buffer slicing + ufunc launch overhead dominates tiny blocks).
+_VECTOR_MIN_MEMBERS = 24
+
 
 class Group:
     """A candidate output group of SGB-All."""
 
     __slots__ = ("gid", "eps", "metric", "member_ids", "points", "mbr",
-                 "eps_rect", "hull")
+                 "eps_rect", "hull", "_block")
 
     def __init__(self, gid: int, eps: float, metric: Metric, use_hull: bool):
         self.gid = gid
@@ -40,6 +45,9 @@ class Group:
         self.mbr: Optional[Rect] = None
         self.eps_rect: Optional[Rect] = None
         self.hull: Optional[IncrementalHull] = IncrementalHull() if use_hull else None
+        #: Backend-native member-coordinate block (None for the pure-
+        #: python backend, which scans ``points`` directly).
+        self._block = kernels.make_group_block()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -65,6 +73,8 @@ class Group:
             self.eps_rect = self.eps_rect.intersection(box)
         if self.hull is not None:
             self.hull.add(point)
+        if self._block is not None:
+            self._block.append(point)
 
     def remove_members(self, point_ids: Iterable[int]) -> None:
         """Drop members by id and rebuild the derived structures."""
@@ -78,6 +88,8 @@ class Group:
         ]
         self.member_ids = [mid for mid, _ in kept]
         self.points = [pt for _, pt in kept]
+        if self._block is not None:
+            self._block.rebuild(self.points)
         if not self.points:
             self.mbr = None
             self.eps_rect = None
@@ -130,20 +142,44 @@ class Group:
             )
         return self.all_within(point)
 
+    def _block_mask(self):
+        """Vectorized member predicate mask, or None to use the loops."""
+        block = self._block
+        if block is None or len(self.points) < _VECTOR_MIN_MEMBERS:
+            return None
+        return block  # caller invokes within_mask with its probe point
+
     def all_within(self, point: Point) -> bool:
         """Brute-force clique test (used by the All-Pairs strategy)."""
+        block = self._block_mask()
+        if block is not None:
+            mask = block.within_mask(point, self.eps, self.metric)
+            if mask is not None:
+                return bool(mask.all())
         within = self.metric.within
         eps = self.eps
         return all(within(point, q, eps) for q in self.points)
 
     def any_within(self, point: Point) -> bool:
         """True iff some member satisfies the similarity predicate."""
+        block = self._block_mask()
+        if block is not None:
+            mask = block.within_mask(point, self.eps, self.metric)
+            if mask is not None:
+                return bool(mask.any())
         within = self.metric.within
         eps = self.eps
         return any(within(point, q, eps) for q in self.points)
 
     def members_within(self, point: Point) -> List[int]:
         """Ids of members within ε of ``point`` (overlap processing)."""
+        block = self._block_mask()
+        if block is not None:
+            mask = block.within_mask(point, self.eps, self.metric)
+            if mask is not None:
+                return [
+                    mid for mid, hit in zip(self.member_ids, mask) if hit
+                ]
         within = self.metric.within
         eps = self.eps
         return [
@@ -151,6 +187,34 @@ class Group:
             for mid, q in zip(self.member_ids, self.points)
             if within(point, q, eps)
         ]
+
+    def scan_flags(self, point: Point, need_overlap: bool) -> Tuple[bool, bool]:
+        """One all-pairs member scan: ``(is_candidate, has_overlap)``.
+
+        This is FindCloseGroups' inner loop for the naive strategy; the
+        pure-python form keeps its early exits (JOIN-ANY bails on the
+        first miss), while large groups under the numpy backend answer
+        both flags from a single vectorized predicate mask.
+        """
+        block = self._block_mask()
+        if block is not None:
+            mask = block.within_mask(point, self.eps, self.metric)
+            if mask is not None:
+                return bool(mask.all()), bool(mask.any())
+        candidate = True
+        overlap = False
+        within = self.metric.within
+        eps = self.eps
+        for q in self.points:
+            if within(point, q, eps):
+                overlap = True
+            else:
+                candidate = False
+                if not need_overlap:
+                    break  # JOIN-ANY can bail on the first miss
+                if overlap:
+                    break  # both flags settled
+        return candidate, overlap
 
 
 class GroupRegistry:

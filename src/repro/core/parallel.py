@@ -1,0 +1,135 @@
+"""Partition-parallel SGB execution (perf layer, see docs/architecture.md).
+
+A similarity GROUP BY with equality partition keys is embarrassingly
+parallel across partitions: each partition is grouped by an independent
+operator instance, and with ``tiebreak='random'`` every partition already
+draws from its own deterministic RNG stream (:func:`partition_seed`, the
+blake2b mix introduced for decorrelation).  Nothing about the grouping
+depends on *where* a partition runs, so dispatching partitions to a
+``ProcessPoolExecutor`` is bit-identical to the serial loop by
+construction — the only extra work is folding each worker's
+:class:`~repro.obs.metrics.MetricBag` counters back into the parent bag so
+``EXPLAIN ANALYZE`` totals stay truthful.
+
+The ``parallel=`` knob accepted by :class:`~repro.engine.database.Database`
+and the :func:`~repro.core.api.sgb_all` / :func:`~repro.core.api.sgb_any`
+entry points is normalized by :func:`resolve_workers`: ``0``/``1`` mean
+serial (the default — process startup outweighs the win for small inputs),
+``n > 1`` means a pool of ``n`` workers, and any negative value means "one
+worker per CPU".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+#: Task tuple consumed by the worker: ``(index, mode, backend, points,
+#: operator kwargs, collect metrics?)``.
+PartitionTask = Tuple[int, str, str, Sequence[Point], dict, bool]
+
+
+def partition_seed(base_seed: int, pkey: tuple) -> int:
+    """Deterministic per-partition RNG seed.
+
+    Every partition used to receive the base seed verbatim, so with
+    ``tiebreak='random'`` all partitions replayed the *same* random stream
+    and made correlated JOIN-ANY choices.  Mixing in a stable digest of the
+    partition key decorrelates partitions while keeping full-query results
+    reproducible run-to-run and — crucially for the parallel executor —
+    independent of which process handles which partition (``hash()`` is
+    salted per process and therefore unusable here).
+    """
+    if not pkey:
+        return base_seed
+    digest = hashlib.blake2b(
+        repr(pkey).encode("utf-8"), digest_size=8
+    ).digest()
+    return base_seed ^ int.from_bytes(digest, "big")
+
+
+def resolve_workers(parallel: Optional[int]) -> int:
+    """Normalize a ``parallel=`` knob to a positive worker count."""
+    if parallel is None:
+        return 1
+    n = int(parallel)
+    if n < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, n)
+
+
+def make_operator(mode: str, **op_kwargs):
+    """Instantiate the batch operator for ``mode`` ('all' or 'any').
+
+    Imports are local so worker processes spawned before the operator
+    modules were touched stay cheap to start.
+    """
+    if mode == "all":
+        from repro.core.sgb_all import SGBAllOperator
+
+        return SGBAllOperator(**op_kwargs)
+    if mode == "any":
+        from repro.core.sgb_any import SGBAnyOperator
+
+        return SGBAnyOperator(**op_kwargs)
+    raise ValueError(f"unknown SGB mode {mode!r}")
+
+
+def run_partition(task: PartitionTask):
+    """Group one partition (module-level so it pickles for the pool).
+
+    Returns ``(index, labels, counters, timings)``; the counter/timing
+    dicts are empty when the parent has no observability bag attached, so
+    workers skip the CountingMetric wrap exactly like the serial path.
+    """
+    index, mode, backend, points, op_kwargs, want_metrics = task
+    from repro import kernels
+    from repro.obs.metrics import MetricBag
+
+    if backend != kernels.active_backend():
+        # A spawned worker re-selects the backend from the environment;
+        # pin it to the parent's choice so results and counters agree.
+        kernels.set_backend(backend)
+    bag = MetricBag() if want_metrics else None
+    operator = make_operator(mode, metrics=bag, **op_kwargs)
+    operator.add_many(points)
+    result = operator.finalize()
+    if bag is None:
+        return index, result.labels, {}, {}
+    return index, result.labels, bag.counters, bag.timings
+
+
+def run_partitions(
+    tasks: Sequence[Tuple[str, Sequence[Point], dict]],
+    workers: int,
+    backend: str,
+    want_metrics: bool = False,
+) -> List[Tuple[List[int], Dict[str, int], Dict[str, float]]]:
+    """Group every ``(mode, points, operator kwargs)`` task, possibly in
+    parallel, and return ``(labels, counters, timings)`` per task in input
+    order.
+
+    ``workers <= 1`` (or a single task) runs in-process — same code path,
+    no pool, so the serial executor and the parallel one cannot drift.
+    """
+    payload: List[PartitionTask] = [
+        (i, mode, backend, points, op_kwargs, want_metrics)
+        for i, (mode, points, op_kwargs) in enumerate(tasks)
+    ]
+    results: List[Optional[Tuple[List[int], dict, dict]]] = [None] * len(payload)
+    if workers <= 1 or len(payload) <= 1:
+        for task in payload:
+            index, labels, counters, timings = run_partition(task)
+            results[index] = (labels, counters, timings)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, labels, counters, timings in pool.map(
+                run_partition, payload
+            ):
+                results[index] = (labels, counters, timings)
+    return results  # type: ignore[return-value]

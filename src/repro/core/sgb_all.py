@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import kernels
 from repro.core.distance import Metric, resolve_metric
 from repro.core.groups import Group, GroupRegistry
 from repro.core.result import ELIMINATED, GroupingResult
@@ -131,25 +132,18 @@ class AllPairsStrategy(_StrategyBase):
             self.metrics.incr("candidates", len(self.registry))
         candidates: List[Group] = []
         overlaps: List[Group] = []
-        within = self.metric.within
-        eps = self.eps
         for g in self.registry:
-            candidate = True
-            overlap = False
-            for q in g.points:
-                if within(point, q, eps):
-                    overlap = True
-                else:
-                    candidate = False
-                    if not need_overlap:
-                        break  # JOIN-ANY can bail on the first miss
-                    if overlap:
-                        break  # both flags settled
+            candidate, overlap = g.scan_flags(point, need_overlap)
             if candidate:
                 candidates.append(g)
             elif need_overlap and overlap:
                 overlaps.append(g)
         return candidates, overlaps
+
+
+#: Live-group count below which the bulk rectangle pass loses to the
+#: plain per-group loop (array setup overhead over a handful of groups).
+_VECTOR_MIN_GROUPS = 16
 
 
 class BoundsCheckingStrategy(_StrategyBase):
@@ -159,9 +153,36 @@ class BoundsCheckingStrategy(_StrategyBase):
     tests, and doing them on raw corner tuples (no method dispatch) is what
     keeps this strategy ahead of All-Pairs at bench sizes, matching the
     paper's ordering.
+
+    Under the numpy backend the per-group rectangle tests become two bulk
+    array comparisons over a slotted :class:`~repro.kernels.numpy_backend.
+    RectStore` (ε-All containment for candidates, MBR intersection for
+    overlap groups), kept in sync through the strategy's index hooks.
     """
 
     name = "bounds-checking"
+
+    def __init__(self, eps: float, metric: Metric, use_hull: bool):
+        super().__init__(eps, metric, use_hull)
+        self._rects = None
+        self._rects_ready = False
+
+    # -- rect-store maintenance (via the _StrategyBase mutation hooks) ---
+    def _index_insert(self, group: Group) -> None:
+        if not self._rects_ready:
+            assert group.mbr is not None
+            self._rects = kernels.make_rect_store(group.mbr.dim)
+            self._rects_ready = True
+        if self._rects is not None:
+            self._rects.set(group.gid, group.eps_rect, group.mbr)
+
+    def _index_moved(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        if self._rects is not None:
+            self._rects.set(group.gid, group.eps_rect, group.mbr)
+
+    def _index_delete(self, group: Group, old_mbr: Optional[Rect]) -> None:
+        if self._rects is not None:
+            self._rects.delete(group.gid)
 
     def find_close_groups(
         self, point: Point, need_overlap: bool
@@ -169,6 +190,11 @@ class BoundsCheckingStrategy(_StrategyBase):
         if self.metrics is not None:
             self.metrics.incr("index_probes")
             self.metrics.incr("candidates", len(self.registry))
+        if (
+            self._rects is not None
+            and len(self.registry) >= _VECTOR_MIN_GROUPS
+        ):
+            return self._find_vectorized(point, need_overlap)
         if len(point) == 2:
             return self._find_2d(point, need_overlap)
         candidates: List[Group] = []
@@ -212,6 +238,41 @@ class BoundsCheckingStrategy(_StrategyBase):
                 if (mlo[0] <= whi0 and wlo0 <= mhi[0]
                         and mlo[1] <= whi1 and wlo1 <= mhi[1]
                         and g.any_within(point)):
+                    overlaps.append(g)
+        return candidates, overlaps
+
+    def _find_vectorized(
+        self, point: Point, need_overlap: bool
+    ) -> Tuple[List[Group], List[Group]]:
+        """Bulk rectangle filters over every live group at once.
+
+        Results are ordered by group id — identical to the linear scan,
+        which walks the registry in creation order — so JOIN-ANY
+        tiebreaks (random *and* first) see the same candidate lists as
+        the pure-python path.
+        """
+        assert self._rects is not None
+        registry = self.registry
+        exact = self.metric.name == "linf"
+        candidates: List[Group] = []
+        accepted = set()
+        for gid in sorted(self._rects.eps_contains(point)):
+            g = registry.get(gid)
+            if exact or g.refine(point):
+                candidates.append(g)
+                accepted.add(gid)
+            # an L2 false positive may still partially overlap: it stays
+            # eligible for the MBR-intersection pass below
+        overlaps: List[Group] = []
+        if need_overlap:
+            window = Rect.eps_box(point, self.eps)
+            for gid in sorted(
+                self._rects.mbr_intersects(window.lo, window.hi)
+            ):
+                if gid in accepted:
+                    continue
+                g = registry.get(gid)
+                if g.any_within(point):
                     overlaps.append(g)
         return candidates, overlaps
 

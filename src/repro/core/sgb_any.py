@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import kernels
 from repro.core.distance import Metric, resolve_metric
 from repro.core.result import GroupingResult
 from repro.dsu.union_find import UnionFind
@@ -54,25 +55,28 @@ class _AnyStrategyBase:
 
 
 class NaiveAnyStrategy(_AnyStrategyBase):
-    """All-pairs scan over processed points."""
+    """All-pairs scan over processed points.
+
+    The scan is one :meth:`~repro.kernels.PointStore.query_all` over the
+    backend-native point store — a single vectorized distance expression
+    under the numpy backend, the original ``within`` loop otherwise.
+    """
 
     name = "all-pairs"
 
     def __init__(self, eps: float, metric: Metric):
         super().__init__(eps, metric)
-        self._points: List[Point] = []
+        self._store = kernels.make_point_store()
 
     def neighbors(self, point: Point) -> List[int]:
         if self.metrics is not None:
             self.metrics.incr("index_probes")
-            self.metrics.incr("candidates", len(self._points))
-        within = self.metric.within
-        eps = self.eps
-        return [i for i, q in enumerate(self._points) if within(point, q, eps)]
+            self.metrics.incr("candidates", len(self._store))
+        return self._store.query_all(point, self.eps, self.metric)
 
     def insert(self, point_id: int, point: Point) -> None:
-        assert point_id == len(self._points), "ids must be dense and ordered"
-        self._points.append(point)
+        stored = self._store.append(point)
+        assert point_id == stored, "ids must be dense and ordered"
 
 
 class RTreeAnyStrategy(_AnyStrategyBase):
@@ -88,6 +92,7 @@ class RTreeAnyStrategy(_AnyStrategyBase):
     def __init__(self, eps: float, metric: Metric, rtree_max_entries: int = 16):
         super().__init__(eps, metric)
         self._rtree = RTree(max_entries=rtree_max_entries)
+        self._store = kernels.make_point_store()
 
     def neighbors(self, point: Point) -> List[int]:
         window = Rect.eps_box(point, self.eps)
@@ -97,12 +102,14 @@ class RTreeAnyStrategy(_AnyStrategyBase):
             self.metrics.incr("candidates", len(hits))
         if self.metric.name == "linf":
             return [pid for _, pid in hits]
-        within = self.metric.within
-        eps = self.eps
-        return [pid for rect, pid in hits if within(point, rect.lo, eps)]
+        # VerifyPoints: one bulk predicate pass over the leaf hits.
+        return self._store.query_ids(
+            [pid for _, pid in hits], point, self.eps, self.metric
+        )
 
     def insert(self, point_id: int, point: Point) -> None:
         self._rtree.insert(Rect.from_point(point), point_id)
+        self._store.append(point)
 
 
 class GridAnyStrategy(_AnyStrategyBase):
@@ -117,21 +124,27 @@ class GridAnyStrategy(_AnyStrategyBase):
             )
         super().__init__(eps, metric)
         self._grid = GridIndex(cell_size=eps)
+        self._store = kernels.make_point_store()
 
     def neighbors(self, point: Point) -> List[int]:
         window = Rect.eps_box(point, self.eps)
-        hits = self._grid.search_with_points(window)
+        # Gather candidate ids from the cell neighbourhood, then run the
+        # window-containment + distance verification as one bulk pass.
+        ids = self._grid.items_in_cell_range(window)
+        # The box tally feeds the candidates counter and the CountingMetric
+        # charge; skip it entirely when neither collector is attached.
+        count = self.metrics is not None or hasattr(self.metric, "calls")
+        result, n_window = self._store.query_ids_eps_box(
+            ids, point, self.eps, self.metric, count=count
+        )
         if self.metrics is not None:
             self.metrics.incr("index_probes")
-            self.metrics.incr("candidates", len(hits))
-        if self.metric.name == "linf":
-            return [pid for _, pid in hits]
-        within = self.metric.within
-        eps = self.eps
-        return [pid for pt, pid in hits if within(point, pt, eps)]
+            self.metrics.incr("candidates", n_window)
+        return result
 
     def insert(self, point_id: int, point: Point) -> None:
         self._grid.insert(point, point_id)
+        self._store.append(point)
 
 
 _STRATEGIES = {

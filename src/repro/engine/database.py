@@ -84,6 +84,10 @@ class Database:
         all three; Any supports ``"all-pairs"`` | ``"index"`` | ``"grid"``).
     ``tiebreak`` / ``seed``
         JOIN-ANY arbitration, see :class:`~repro.core.sgb_all.SGBAllOperator`.
+    ``parallel``
+        Worker processes for PARTITION BY queries: ``0``/``1`` serial
+        (default), ``n > 1`` a pool of ``n``, negative one per CPU.
+        Results are bit-identical to serial execution.
     """
 
     def __init__(
@@ -92,6 +96,7 @@ class Database:
         sgb_any_strategy: str = "index",
         tiebreak: str = "random",
         seed: int = 0,
+        parallel: int = 0,
     ):
         self.catalog = Catalog()
         self.sgb_config = SGBConfig(
@@ -99,6 +104,7 @@ class Database:
             any_strategy=sgb_any_strategy,
             tiebreak=tiebreak,
             seed=seed,
+            parallel=parallel,
         )
         self._stream_views: Dict[str, Any] = {}
 

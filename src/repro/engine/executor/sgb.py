@@ -20,12 +20,13 @@ aggregate is a planning error (caught upstream).
 
 from __future__ import annotations
 
-import hashlib
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import datetime as _dt
 
+from repro import kernels
 from repro.core.around import sgb_around_nd
+from repro.core.parallel import partition_seed, resolve_workers, run_partitions
 from repro.core.sgb_1d import sgb_around, sgb_segment
 from repro.core.sgb_all import SGBAllOperator
 from repro.core.sgb_any import SGBAnyOperator
@@ -51,14 +52,21 @@ def _coordinate(value):
 
 
 class SGBConfig:
-    """Execution knobs for the SGB node (set on the Database)."""
+    """Execution knobs for the SGB node (set on the Database).
+
+    ``parallel`` dispatches independent PARTITION BY partitions to a
+    process pool: ``0``/``1`` serial (default), ``n > 1`` a pool of ``n``
+    workers, negative one worker per CPU.  Results are bit-identical to
+    serial execution (see :mod:`repro.core.parallel`).
+    """
 
     def __init__(self, all_strategy: str = "index", any_strategy: str = "index",
-                 tiebreak: str = "random", seed: int = 0):
+                 tiebreak: str = "random", seed: int = 0, parallel: int = 0):
         self.all_strategy = all_strategy
         self.any_strategy = any_strategy
         self.tiebreak = tiebreak
         self.seed = seed
+        self.parallel = parallel
 
 
 class SGBAggregate(PhysicalOperator):
@@ -88,46 +96,41 @@ class SGBAggregate(PhysicalOperator):
         self.schema = Schema(columns)
 
     def _partition_seed(self, pkey: tuple) -> int:
-        """Deterministic per-partition RNG seed.
+        """Deterministic per-partition RNG seed (see
+        :func:`repro.core.parallel.partition_seed` for the rationale —
+        it is also what makes partitions safe to run in worker
+        processes)."""
+        return partition_seed(self.config.seed, pkey)
 
-        Every partition used to receive ``config.seed`` verbatim, so with
-        ``tiebreak='random'`` all partitions replayed the *same* random
-        stream and made correlated JOIN-ANY choices.  Mixing in a stable
-        digest of the partition key decorrelates partitions while keeping
-        full-query results reproducible run-to-run (``hash()`` is salted
-        per process and therefore unusable here).
-        """
-        if not pkey:
-            return self.config.seed
-        digest = hashlib.blake2b(
-            repr(pkey).encode("utf-8"), digest_size=8
-        ).digest()
-        return self.config.seed ^ int.from_bytes(digest, "big")
-
-    def _make_operator(self, pkey: tuple = ()):
-        bag = self._obs.bag if self._obs is not None else None
+    def _operator_kwargs(self, pkey: tuple) -> dict:
+        """Picklable constructor arguments for one partition's operator."""
         if self.mode == "all":
-            return SGBAllOperator(
+            return dict(
                 eps=self.eps,
                 metric=self.metric,
                 on_overlap=self.on_overlap,
                 strategy=self.config.all_strategy,
                 tiebreak=self.config.tiebreak,
                 seed=self._partition_seed(pkey),
-                metrics=bag,
             )
-        return SGBAnyOperator(
+        return dict(
             eps=self.eps,
             metric=self.metric,
             strategy=self.config.any_strategy,
-            metrics=bag,
         )
 
-    def _execute(self) -> Iterator[tuple]:
-        # Partition rows by the (extension) equality keys; the similarity
-        # operator runs independently within each partition.  Without a
-        # PARTITION BY clause there is exactly one partition.
-        partitions: dict = {}
+    def _make_operator(self, pkey: tuple = ()):
+        bag = self._obs.bag if self._obs is not None else None
+        if self.mode == "all":
+            return SGBAllOperator(metrics=bag, **self._operator_kwargs(pkey))
+        return SGBAnyOperator(metrics=bag, **self._operator_kwargs(pkey))
+
+    def _spool_partitions(self) -> Tuple[Dict[tuple, tuple], List[tuple]]:
+        """Partition child rows by the equality keys; §8.2 tuple store.
+
+        Without a PARTITION BY clause there is exactly one partition.
+        """
+        partitions: Dict[tuple, tuple] = {}
         partition_order: List[tuple] = []
         key_fns = self._key_fns
         partition_fns = self._partition_fns
@@ -156,16 +159,59 @@ class SGBAggregate(PhysicalOperator):
                 partition_order.append(pkey)
             bucket[0].append(point)
             bucket[1].append(row)
+        return partitions, partition_order
 
+    def _labels_parallel(
+        self, partitions, partition_order, workers: int
+    ) -> List[List[int]]:
+        """Group every partition on a process pool; merge worker counters.
+
+        Per-partition seeds make the labels bit-identical to the serial
+        loop; each worker collects its own MetricBag (only when the parent
+        has one attached) whose counters and timings are folded back here
+        so EXPLAIN ANALYZE reports the same totals either way.
+        """
+        bag = self._obs.bag if self._obs is not None else None
+        tasks = [
+            (self.mode, partitions[pkey][0], self._operator_kwargs(pkey))
+            for pkey in partition_order
+        ]
+        results = run_partitions(
+            tasks,
+            workers,
+            backend=kernels.active_backend(),
+            want_metrics=bag is not None,
+        )
+        label_lists: List[List[int]] = []
+        for labels, counters, timings in results:
+            label_lists.append(labels)
+            if bag is not None:
+                for name, value in counters.items():
+                    bag.incr(name, value)
+                for name, seconds in timings.items():
+                    bag.add_time(name, seconds)
+        return label_lists
+
+    def _execute(self) -> Iterator[tuple]:
+        partitions, partition_order = self._spool_partitions()
+        workers = resolve_workers(self.config.parallel)
+        label_lists: Optional[List[List[int]]] = None
+        if workers > 1 and len(partition_order) > 1:
+            label_lists = self._labels_parallel(
+                partitions, partition_order, workers
+            )
         specs = self._specs
-        for pkey in partition_order:
+        for i, pkey in enumerate(partition_order):
             points, spool = partitions[pkey]
-            operator = self._make_operator(pkey)
-            operator.add_many(points)
-            result = operator.finalize()
+            if label_lists is not None:
+                labels = label_lists[i]
+            else:
+                operator = self._make_operator(pkey)
+                operator.add_many(points)
+                labels = operator.finalize().labels
             group_accs: dict = {}
             order: List[int] = []
-            for row, label in zip(spool, result.labels):
+            for row, label in zip(spool, labels):
                 if label < 0:  # eliminated by the ON-OVERLAP clause
                     continue
                 accs = group_accs.get(label)

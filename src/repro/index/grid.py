@@ -70,6 +70,24 @@ class GridIndex:
                     out.append((pt, item))
         return out
 
+    def items_in_cell_range(self, window: Rect) -> List[Any]:
+        """Raw items from every cell overlapping ``window`` — *without*
+        the per-point containment test.
+
+        This is the gather half of the window query; callers that verify
+        candidates in bulk (:mod:`repro.kernels`) run the containment and
+        distance tests as one vectorized pass over the gathered ids.
+        """
+        lo_cell = self._cell_of(window.lo)
+        hi_cell = self._cell_of(window.hi)
+        out: List[Any] = []
+        for cell in _cell_range(lo_cell, hi_cell):
+            bucket = self._cells.get(cell)
+            if bucket:
+                for _, item in bucket:
+                    out.append(item)
+        return out
+
     def items(self) -> Iterator[Tuple[Tuple[float, ...], Any]]:
         for bucket in self._cells.values():
             yield from bucket

@@ -1,0 +1,160 @@
+"""Batch distance-kernel backends for the SGB hot paths.
+
+Every SGB strategy ultimately evaluates the similarity predicate against a
+*block* of points: the naive all-pairs scan, a grid cell neighbourhood,
+the R-tree window hits, a group's member list, or the per-group ε-All /
+MBR rectangle filters.  This package is the seam between those call sites
+and two interchangeable implementations:
+
+* ``numpy`` — vectorized array-at-a-time kernels over contiguous buffers
+  (:mod:`repro.kernels.numpy_backend`; requires the ``fast`` extra);
+* ``python`` — the original dependency-free loops
+  (:mod:`repro.kernels.python_backend`).
+
+Selection happens once at import: numpy if importable, else python.  The
+``REPRO_BACKEND`` environment variable (``numpy`` | ``python``) overrides
+auto-detection, and :func:`set_backend` / :func:`use_backend` switch at
+runtime (tests, benchmarks).  Both backends produce identical group
+memberships; see docs/architecture.md ("Execution backends") for the one
+place their observability counters may legitimately differ.
+
+The module-level functions re-dispatch on every call, so a backend switch
+affects operators constructed afterwards (stores and blocks are created
+by the backend that was active at operator construction).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidParameterError
+
+from repro.kernels import python_backend as _python
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+try:  # the numpy backend is optional (the ``fast`` extra)
+    from repro.kernels import numpy_backend as _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _numpy = None
+
+_BACKENDS = {"python": _python}
+if _numpy is not None:
+    _BACKENDS["numpy"] = _numpy
+
+
+def _select_initial():
+    choice = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if choice:
+        if choice not in ("numpy", "python"):
+            raise InvalidParameterError(
+                f"{BACKEND_ENV_VAR} must be 'numpy' or 'python', got {choice!r}"
+            )
+        if choice == "numpy" and _numpy is None:
+            raise InvalidParameterError(
+                f"{BACKEND_ENV_VAR}=numpy but numpy is not installed; "
+                "install the 'fast' extra (pip install repro[fast])"
+            )
+        return _BACKENDS[choice]
+    return _numpy if _numpy is not None else _python
+
+
+_impl = _select_initial()
+
+
+# ----------------------------------------------------------------------
+# backend management
+# ----------------------------------------------------------------------
+def active_backend() -> str:
+    """Name of the backend serving kernel calls: ``"numpy"`` | ``"python"``."""
+    return _impl.name
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def set_backend(name: str) -> str:
+    """Switch the process-wide backend; returns the previous name."""
+    global _impl
+    key = name.strip().lower()
+    if key not in _BACKENDS:
+        raise InvalidParameterError(
+            f"unknown or unavailable backend {name!r}; "
+            f"available: {available_backends()}"
+        )
+    previous = _impl.name
+    _impl = _BACKENDS[key]
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch backends (tests / benchmarks)."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# dispatched primitives
+# ----------------------------------------------------------------------
+def pairwise_within(points, q, eps, metric) -> List[bool]:
+    """Per-point results of ``metric.within(p, q, eps)`` over a block."""
+    return _impl.pairwise_within(points, q, eps, metric)
+
+
+def neighbors_in_eps(points, q, eps, metric) -> List[int]:
+    """Indices of block points within ``eps`` of ``q`` (ascending)."""
+    return _impl.neighbors_in_eps(points, q, eps, metric)
+
+
+def points_in_rect(points, lo, hi) -> List[bool]:
+    """Bulk closed-boundary point-in-rectangle tests."""
+    return _impl.points_in_rect(points, lo, hi)
+
+
+def all_within(points, q, eps, metric) -> bool:
+    """Clique test: is ``q`` within ``eps`` of every block point?"""
+    return _impl.all_within(points, q, eps, metric)
+
+
+def any_within(points, q, eps, metric) -> bool:
+    return _impl.any_within(points, q, eps, metric)
+
+
+def make_point_store():
+    """Backend-native append-only point collection (dense ids)."""
+    return _impl.make_point_store()
+
+
+def make_rect_store(dim: int):
+    """Bulk (ε-All rect, MBR) store, or None when the backend prefers
+    the caller's per-group loops (python backend)."""
+    return _impl.make_rect_store(dim)
+
+
+def make_group_block():
+    """Per-group contiguous member-coordinate block, or None."""
+    return _impl.make_group_block()
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "active_backend",
+    "available_backends",
+    "set_backend",
+    "use_backend",
+    "pairwise_within",
+    "neighbors_in_eps",
+    "points_in_rect",
+    "all_within",
+    "any_within",
+    "make_point_store",
+    "make_rect_store",
+    "make_group_block",
+]

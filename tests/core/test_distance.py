@@ -68,6 +68,37 @@ class TestMinkowski:
         m = MinkowskiMetric(2)
         assert m.distance((0, 0), (3, 4)) == pytest.approx(5.0)
 
+    def test_within_known_values(self):
+        assert L1.within((0, 0), (3, 4), 7.0)
+        assert not L1.within((0, 0), (3, 4), 6.999)
+        m3 = MinkowskiMetric(3)
+        assert m3.within((0, 0), (1, 1), 2 ** (1 / 3))
+
+    def test_within_early_exit_correct(self):
+        # the powered-sum early exit must not change the answer away from
+        # the representability boundary (within compares Σ|a-b|^p with
+        # eps^p, exact up to one ulp like EuclideanMetric's squared form)
+        m3 = MinkowskiMetric(3)
+        p = (0, 0, 0, 0)
+        q = (10, 0.1, 0.1, 0.1)
+        d = m3.distance(p, q)
+        assert not m3.within(p, q, 10.0)
+        assert m3.within(p, q, d * (1 + 1e-12))
+        assert not m3.within(p, q, d * (1 - 1e-12))
+
+    def test_within_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            L1.within((1, 2), (1, 2, 3), 1.0)
+
+    @pytest.mark.parametrize("order", [1, 1.5, 2, 3, 7])
+    @given(p=point2, q=point2, eps=st.floats(0, 100))
+    def test_within_matches_distance(self, order, p, q, eps):
+        m = MinkowskiMetric(order)
+        d = m.distance(p, q)
+        if abs(d - eps) <= 1e-9 * max(1.0, eps):
+            return  # powered-sum vs rooted compare may differ by one ulp
+        assert m.within(p, q, eps) == (d <= eps)
+
 
 class TestResolve:
     @pytest.mark.parametrize("name,expected", [
