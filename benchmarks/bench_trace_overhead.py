@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Cost of the observability layer: tracing off must be (nearly) free.
+
+Three measurements over the same SGB-Any workload:
+
+* **baseline** — the pre-PR hot path, replicated verbatim: the operator's
+  ingest loop with every ``if bag is not None`` / ``maybe_span`` guard
+  *removed* (the add() body as it was before the instrumentation hooks
+  landed).  This is what the ≤5% acceptance bound compares against.
+* **off** — the public path with tracing and metrics disabled (the
+  default): identical work plus the guard branches.  The asserted claim
+  is ``off/baseline <= threshold`` (default 1.05).
+* **on** — the same workload with a MetricBag *and* a Tracer attached
+  (per-probe histogram timers, ingest/finalize spans).  Reported, not
+  asserted: this is the price of turning observability on.
+
+A fourth row times the end-to-end SQL path (``Database`` SELECT) with
+``trace=False`` vs ``trace=True`` for the query-span + plan-node layer.
+
+Timings use the min over rounds (the standard microbenchmark estimator —
+robust to scheduler noise on small CI boxes).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py [--quick]
+        [--n N] [--rounds R] [--threshold 1.05] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.bench.harness import bench_stamp  # noqa: E402
+from repro.core.sgb_any import SGBAnyOperator  # noqa: E402
+from repro.obs.metrics import MetricBag  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
+
+EPS = 1.0  # uniform_points spans a 20x20 square; ~Fig. 9 mid-density.
+STRATEGY = "grid"
+
+
+def _pre_pr_add(op, point) -> None:
+    """``SGBAnyOperator.add`` as it was before this PR, verbatim.
+
+    The pre-PR body already carried the ``bag = self.metrics`` /
+    ``if bag is not None`` counter guards; what the observability PR added
+    to the disabled path is only the probe-latency timer plumbing around
+    ``neighbors`` and the ``maybe_span`` handles in ``add_many`` /
+    ``finalize``.  Replicating the old body exactly (same per-call
+    attribute lookups, same validation) makes the off/baseline ratio
+    measure precisely that addition.
+    """
+    if op._finalized:
+        raise RuntimeError("operator already finalized")
+    pt = tuple(float(v) for v in point)
+    if op._dim is None:
+        op._dim = len(pt)
+    elif len(pt) != op._dim:
+        raise ValueError(f"point dimension {len(pt)} != {op._dim}")
+    pid = len(op._points)
+    op._points.append(pt)
+    op._uf.add(pid)
+    bag = op.metrics
+    if bag is not None:
+        bag.incr("points")
+        bag.incr("groups_created")
+        before = op._uf.n_components
+    for nb in op._strategy.neighbors(pt):
+        op._uf.union(pid, nb)
+    if bag is not None:
+        bag.incr("groups_merged", before - op._uf.n_components)
+    op._strategy.insert(pid, pt)
+
+
+def run_baseline(points) -> int:
+    """The pre-PR ingest hot loop (``add_many`` was a bare for-loop)."""
+    op = SGBAnyOperator(eps=EPS, strategy=STRATEGY)
+    for p in points:
+        _pre_pr_add(op, p)
+    return op.finalize().n_groups
+
+
+def run_off(points) -> int:
+    """The public path, observability disabled (the default)."""
+    op = SGBAnyOperator(eps=EPS, strategy=STRATEGY)
+    op.add_many(points)
+    return op.finalize().n_groups
+
+
+def run_on(points) -> int:
+    """The public path with a metric bag and tracer attached."""
+    op = SGBAnyOperator(eps=EPS, strategy=STRATEGY,
+                        metrics=MetricBag(), tracer=Tracer())
+    op.add_many(points)
+    return op.finalize().n_groups
+
+
+def time_fn(fn, points, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn(points)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sql_pair(n: int, rounds: int):
+    """End-to-end SELECT wall time, tracing off vs on."""
+    from repro.engine.database import Database
+
+    points = uniform_points(n)
+    times = {}
+    for traced in (False, True):
+        db = Database(trace=traced)
+        db.execute("CREATE TABLE pts (x float, y float)")
+        db.insert("pts", [tuple(p) for p in points])
+        sql = ("SELECT count(*) FROM pts GROUP BY x, y "
+               f"DISTANCE-TO-ANY L2 WITHIN {EPS}")
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            db.query(sql)
+            best = min(best, time.perf_counter() - t0)
+        times["on" if traced else "off"] = best
+    return times
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small size / fewer rounds for CI smoke runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="points per round (default 6000; 1500 --quick)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="rounds per variant, min is kept "
+                             "(default 5; 3 with --quick)")
+    parser.add_argument("--threshold", type=float, default=1.05,
+                        help="max allowed off/baseline wall-time ratio")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: "
+                             "BENCH_trace_overhead.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (1500 if args.quick else 6000)
+    rounds = args.rounds or (3 if args.quick else 5)
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_trace_overhead.json"
+    )
+
+    points = uniform_points(n)
+    # Interleave a warmup of each variant so first-touch costs (imports,
+    # allocator growth) are not charged to whichever runs first.
+    for fn in (run_baseline, run_off, run_on):
+        groups = fn(points)
+    results = {}
+    for name, fn in (("baseline", run_baseline), ("off", run_off),
+                     ("on", run_on)):
+        results[name] = time_fn(fn, points, rounds)
+        print(f"[operator {name:8s}] n={n}: {results[name] * 1000:8.2f} ms")
+
+    off_ratio = results["off"] / results["baseline"]
+    on_ratio = results["on"] / results["baseline"]
+    print(f"off/baseline = {off_ratio:.4f}  (threshold {args.threshold})")
+    print(f"on/baseline  = {on_ratio:.4f}  (reported, not asserted)")
+
+    sql_times = sql_pair(n // 2, rounds)
+    sql_ratio = sql_times["on"] / sql_times["off"]
+    print(f"[sql off] {sql_times['off'] * 1000:8.2f} ms   "
+          f"[sql on] {sql_times['on'] * 1000:8.2f} ms   "
+          f"ratio {sql_ratio:.3f}")
+
+    payload = {
+        "benchmark": "trace-overhead",
+        "stamp": bench_stamp(),
+        "config": {
+            "n": n,
+            "rounds": rounds,
+            "eps": EPS,
+            "strategy": STRATEGY,
+            "threshold": args.threshold,
+            "quick": args.quick,
+        },
+        "operator": {
+            "baseline_s": results["baseline"],
+            "off_s": results["off"],
+            "on_s": results["on"],
+            "off_vs_baseline": off_ratio,
+            "on_vs_baseline": on_ratio,
+            "n_groups": groups,
+        },
+        "sql": {
+            "off_s": sql_times["off"],
+            "on_s": sql_times["on"],
+            "on_vs_off": sql_ratio,
+        },
+        "pass": off_ratio <= args.threshold,
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if off_ratio > args.threshold:
+        print(f"FAIL: tracing-off overhead {off_ratio:.4f} exceeds "
+              f"{args.threshold}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,7 +156,7 @@ def _run_partitioned(
     )
     labels: List[int] = [0] * len(pts)
     offset = 0
-    for key, (part_labels, _, _) in zip(order, results):
+    for key, (part_labels, _obs) in zip(order, results):
         local_max = -1
         for index, label in zip(buckets[key][1], part_labels):
             labels[index] = label + offset if label >= 0 else -1

@@ -7,9 +7,13 @@ draws from its own deterministic RNG stream (:func:`partition_seed`, the
 blake2b mix introduced for decorrelation).  Nothing about the grouping
 depends on *where* a partition runs, so dispatching partitions to a
 ``ProcessPoolExecutor`` is bit-identical to the serial loop by
-construction — the only extra work is folding each worker's
-:class:`~repro.obs.metrics.MetricBag` counters back into the parent bag so
-``EXPLAIN ANALYZE`` totals stay truthful.
+construction — the only extra work is folding each worker's observability
+payload back into the parent: :class:`~repro.obs.metrics.MetricBag`
+counters/timings/histograms so ``EXPLAIN ANALYZE`` totals stay truthful,
+and (when tracing) the worker's span records, which arrive already
+parented onto the dispatching span via the propagated trace context
+(``(trace_id, parent_span_id)`` — see :meth:`repro.obs.trace.Tracer.for_context`),
+so the fold is a plain append with exact parent ids.
 
 The ``parallel=`` knob accepted by :class:`~repro.engine.database.Database`
 and the :func:`~repro.core.api.sgb_all` / :func:`~repro.core.api.sgb_any`
@@ -23,13 +27,23 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 Point = Tuple[float, ...]
 
+#: Propagated trace context: ``(trace_id, parent_span_id)``.
+TraceContext = Tuple[str, str]
+
 #: Task tuple consumed by the worker: ``(index, mode, backend, points,
-#: operator kwargs, collect metrics?)``.
-PartitionTask = Tuple[int, str, str, Sequence[Point], dict, bool]
+#: operator kwargs, collect metrics?, trace context or None)``.
+PartitionTask = Tuple[int, str, str, Sequence[Point], dict, bool,
+                      Optional[TraceContext]]
+
+#: Observability payload returned per task (empty when uninstrumented):
+#: ``counters``/``timings`` fold into the parent MetricBag, ``histograms``
+#: maps name -> LatencyHistogram.state(), ``spans`` is a list of exported
+#: SpanRecord dicts ready for ``Tracer.ingest``.
+ObsPayload = Dict[str, Any]
 
 
 def partition_seed(base_seed: int, pkey: tuple) -> int:
@@ -81,11 +95,12 @@ def make_operator(mode: str, **op_kwargs):
 def run_partition(task: PartitionTask):
     """Group one partition (module-level so it pickles for the pool).
 
-    Returns ``(index, labels, counters, timings)``; the counter/timing
-    dicts are empty when the parent has no observability bag attached, so
-    workers skip the CountingMetric wrap exactly like the serial path.
+    Returns ``(index, labels, payload)``; the payload dict is empty when
+    the parent attached neither a metric bag nor a tracer, so workers
+    skip the CountingMetric wrap and span bookkeeping exactly like the
+    uninstrumented serial path.
     """
-    index, mode, backend, points, op_kwargs, want_metrics = task
+    index, mode, backend, points, op_kwargs, want_metrics, trace_ctx = task
     from repro import kernels
     from repro.obs.metrics import MetricBag
 
@@ -94,12 +109,37 @@ def run_partition(task: PartitionTask):
         # pin it to the parent's choice so results and counters agree.
         kernels.set_backend(backend)
     bag = MetricBag() if want_metrics else None
-    operator = make_operator(mode, metrics=bag, **op_kwargs)
-    operator.add_many(points)
-    result = operator.finalize()
-    if bag is None:
-        return index, result.labels, {}, {}
-    return index, result.labels, bag.counters, bag.timings
+    tracer = None
+    if trace_ctx is not None:
+        from repro.obs.trace import Tracer
+
+        trace_id, parent_span_id = trace_ctx
+        # The tag (span-id prefix) must be unique per *task*, not per
+        # process — a pool worker handles many tasks and restarts its
+        # local counter each time.
+        tracer = Tracer.for_context(
+            trace_id, parent_span_id, tag=f"{parent_span_id}.p{index}."
+        )
+    operator = make_operator(mode, metrics=bag, tracer=tracer, **op_kwargs)
+    if tracer is not None:
+        with tracer.span("partition", partition=index, points=len(points),
+                         mode=mode, pid=os.getpid()):
+            operator.add_many(points)
+            result = operator.finalize()
+    else:
+        operator.add_many(points)
+        result = operator.finalize()
+    payload: ObsPayload = {}
+    if bag is not None:
+        payload["counters"] = bag.counters
+        payload["timings"] = bag.timings
+        if bag.histograms:
+            payload["histograms"] = {
+                name: hist.state() for name, hist in bag.histograms.items()
+            }
+    if tracer is not None:
+        payload["spans"] = tracer.export_records()
+    return index, result.labels, payload
 
 
 def run_partitions(
@@ -107,29 +147,49 @@ def run_partitions(
     workers: int,
     backend: str,
     want_metrics: bool = False,
-) -> List[Tuple[List[int], Dict[str, int], Dict[str, float]]]:
+    trace_context: Optional[TraceContext] = None,
+) -> List[Tuple[List[int], ObsPayload]]:
     """Group every ``(mode, points, operator kwargs)`` task, possibly in
-    parallel, and return ``(labels, counters, timings)`` per task in input
-    order.
+    parallel, and return ``(labels, obs payload)`` per task in input order.
 
     ``workers <= 1`` (or a single task) runs in-process — same code path,
-    no pool, so the serial executor and the parallel one cannot drift.
+    no pool, so the serial executor and the parallel one cannot drift; in
+    particular a propagated ``trace_context`` produces the identical span
+    tree either way (worker spans parent onto ``trace_context[1]``).
     """
     payload: List[PartitionTask] = [
-        (i, mode, backend, points, op_kwargs, want_metrics)
+        (i, mode, backend, points, op_kwargs, want_metrics, trace_context)
         for i, (mode, points, op_kwargs) in enumerate(tasks)
     ]
-    results: List[Optional[Tuple[List[int], dict, dict]]] = [None] * len(payload)
+    results: List[Optional[Tuple[List[int], ObsPayload]]] = [None] * len(payload)
     if workers <= 1 or len(payload) <= 1:
         for task in payload:
-            index, labels, counters, timings = run_partition(task)
-            results[index] = (labels, counters, timings)
+            index, labels, obs = run_partition(task)
+            results[index] = (labels, obs)
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, labels, counters, timings in pool.map(
-                run_partition, payload
-            ):
-                results[index] = (labels, counters, timings)
+            for index, labels, obs in pool.map(run_partition, payload):
+                results[index] = (labels, obs)
     return results  # type: ignore[return-value]
+
+
+def fold_obs_payload(payload: ObsPayload, bag=None, tracer=None) -> None:
+    """Fold one worker observability payload into parent collectors.
+
+    ``bag`` receives counters, timings, and (merged) histograms;
+    ``tracer`` ingests the worker's span records.  Either may be None.
+    """
+    if bag is not None:
+        for name, value in payload.get("counters", {}).items():
+            bag.incr(name, value)
+        for name, seconds in payload.get("timings", {}).items():
+            bag.add_time(name, seconds)
+        if payload.get("histograms"):
+            from repro.obs.hist import LatencyHistogram
+
+            for name, state in payload["histograms"].items():
+                bag.histogram(name).merge(LatencyHistogram.from_state(state))
+    if tracer is not None and payload.get("spans"):
+        tracer.ingest(payload["spans"])

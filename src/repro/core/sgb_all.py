@@ -27,6 +27,7 @@ the property-based tests exploit.
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import kernels
@@ -37,6 +38,7 @@ from repro.errors import DimensionMismatchError, InvalidParameterError
 from repro.geometry.rectangle import Rect
 from repro.index.rtree import RTree
 from repro.obs.metrics import MetricBag
+from repro.obs.trace import Tracer, maybe_span
 
 Point = Tuple[float, ...]
 
@@ -398,12 +400,14 @@ class SGBAllOperator:
         max_recursion: Optional[int] = None,
         count_distance_computations: bool = False,
         metrics: Optional[MetricBag] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if eps < 0:
             raise InvalidParameterError(f"eps must be non-negative, got {eps}")
         self.eps = float(eps)
         self.metric = resolve_metric(metric)
         self.metrics = metrics
+        self.tracer = tracer
         if count_distance_computations or metrics is not None:
             from repro.core.stats import CountingMetric
 
@@ -490,8 +494,13 @@ class SGBAllOperator:
         self._process_point(self._strategy, pid, self._deferred)
 
     def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAllOperator":
-        for p in points:
-            self.add(p)
+        with maybe_span(self.tracer, "ingest",
+                        strategy=self.strategy_name,
+                        on_overlap=self.on_overlap) as sp:
+            n0 = len(self._points)
+            for p in points:
+                self.add(p)
+            sp.set(points=len(self._points) - n0)
         return self
 
     # ------------------------------------------------------------------
@@ -502,7 +511,12 @@ class SGBAllOperator:
         point = self._points[pid]
         need_overlap = self.on_overlap != JOIN_ANY
         bag = self.metrics
-        candidates, overlaps = strat.find_close_groups(point, need_overlap)
+        if bag is not None:
+            t0 = time.perf_counter()
+            candidates, overlaps = strat.find_close_groups(point, need_overlap)
+            bag.observe("probe_latency", time.perf_counter() - t0)
+        else:
+            candidates, overlaps = strat.find_close_groups(point, need_overlap)
 
         # -- ProcessGroupingALL (Procedure 3) --------------------------
         if not candidates:
@@ -562,26 +576,34 @@ class SGBAllOperator:
         if self._strategy is not None:
             self._finished_registries.append(self._strategy.registry)
 
-        pending = self._deferred
-        depth = 0
-        while pending:
-            if self.max_recursion is not None and depth >= self.max_recursion:
-                self._force_singletons(pending)
-                break
-            strat = self._make_strategy()
-            next_deferred: List[int] = []
-            for pid in pending:
-                self._process_point(strat, pid, next_deferred)
-            self._finished_registries.append(strat.registry)
-            if sorted(next_deferred) == sorted(pending):
-                # No progress is possible; make each remaining point its own
-                # group rather than looping forever.
-                self._drop_registry_assignments(strat.registry)
-                self._finished_registries.pop()
-                self._force_singletons(pending)
-                break
-            pending = next_deferred
-            depth += 1
+        with maybe_span(self.tracer, "finalize",
+                        points=len(self._points)) as fin:
+            pending = self._deferred
+            depth = 0
+            while pending:
+                if (self.max_recursion is not None
+                        and depth >= self.max_recursion):
+                    self._force_singletons(pending)
+                    break
+                strat = self._make_strategy()
+                next_deferred: List[int] = []
+                # Each FORM-NEW-GROUP recursion level is its own strategy
+                # phase — one span per re-grouping pass over S'.
+                with maybe_span(self.tracer, "regroup", depth=depth,
+                                pending=len(pending)):
+                    for pid in pending:
+                        self._process_point(strat, pid, next_deferred)
+                self._finished_registries.append(strat.registry)
+                if sorted(next_deferred) == sorted(pending):
+                    # No progress is possible; make each remaining point its
+                    # own group rather than looping forever.
+                    self._drop_registry_assignments(strat.registry)
+                    self._finished_registries.pop()
+                    self._force_singletons(pending)
+                    break
+                pending = next_deferred
+                depth += 1
+            fin.set(regroup_passes=depth)
 
         labels = [ELIMINATED] * len(self._points)
         next_label = 0

@@ -16,6 +16,7 @@ Strategies for ``FindCandidateGroups``:
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import kernels
@@ -27,6 +28,7 @@ from repro.geometry.rectangle import Rect
 from repro.index.grid import GridIndex
 from repro.index.rtree import RTree
 from repro.obs.metrics import MetricBag
+from repro.obs.trace import Tracer, maybe_span
 
 Point = Tuple[float, ...]
 
@@ -72,6 +74,12 @@ class NaiveAnyStrategy(_AnyStrategyBase):
         if self.metrics is not None:
             self.metrics.incr("index_probes")
             self.metrics.incr("candidates", len(self._store))
+            t0 = time.perf_counter()
+            result = self._store.query_all(point, self.eps, self.metric)
+            self.metrics.observe(
+                "distance_batch_latency", time.perf_counter() - t0
+            )
+            return result
         return self._store.query_all(point, self.eps, self.metric)
 
     def insert(self, point_id: int, point: Point) -> None:
@@ -103,6 +111,15 @@ class RTreeAnyStrategy(_AnyStrategyBase):
         if self.metric.name == "linf":
             return [pid for _, pid in hits]
         # VerifyPoints: one bulk predicate pass over the leaf hits.
+        if self.metrics is not None:
+            t0 = time.perf_counter()
+            result = self._store.query_ids(
+                [pid for _, pid in hits], point, self.eps, self.metric
+            )
+            self.metrics.observe(
+                "distance_batch_latency", time.perf_counter() - t0
+            )
+            return result
         return self._store.query_ids(
             [pid for _, pid in hits], point, self.eps, self.metric
         )
@@ -134,10 +151,14 @@ class GridAnyStrategy(_AnyStrategyBase):
         # The box tally feeds the candidates counter and the CountingMetric
         # charge; skip it entirely when neither collector is attached.
         count = self.metrics is not None or hasattr(self.metric, "calls")
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
         result, n_window = self._store.query_ids_eps_box(
             ids, point, self.eps, self.metric, count=count
         )
         if self.metrics is not None:
+            self.metrics.observe(
+                "distance_batch_latency", time.perf_counter() - t0
+            )
             self.metrics.incr("index_probes")
             self.metrics.incr("candidates", n_window)
         return result
@@ -175,12 +196,14 @@ class SGBAnyOperator:
         rtree_max_entries: int = 16,
         count_distance_computations: bool = False,
         metrics: Optional[MetricBag] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if eps < 0:
             raise InvalidParameterError(f"eps must be non-negative, got {eps}")
         self.eps = float(eps)
         self.metric = resolve_metric(metric)
         self.metrics = metrics
+        self.tracer = tracer
         if count_distance_computations or metrics is not None:
             from repro.core.stats import CountingMetric
 
@@ -247,15 +270,24 @@ class SGBAnyOperator:
             bag.incr("points")
             bag.incr("groups_created")
             before = self._uf.n_components
-        for nb in self._strategy.neighbors(pt):
+            t0 = time.perf_counter()
+            neighbors = self._strategy.neighbors(pt)
+            bag.observe("probe_latency", time.perf_counter() - t0)
+        else:
+            neighbors = self._strategy.neighbors(pt)
+        for nb in neighbors:
             self._uf.union(pid, nb)
         if bag is not None:
             bag.incr("groups_merged", before - self._uf.n_components)
         self._strategy.insert(pid, pt)
 
     def add_many(self, points: Iterable[Sequence[float]]) -> "SGBAnyOperator":
-        for p in points:
-            self.add(p)
+        with maybe_span(self.tracer, "ingest",
+                        strategy=self.strategy_name) as sp:
+            n0 = len(self._points)
+            for p in points:
+                self.add(p)
+            sp.set(points=len(self._points) - n0)
         return self
 
     def finalize(self) -> GroupingResult:
@@ -266,11 +298,14 @@ class SGBAnyOperator:
             self.metrics.incr(
                 "distance_computations", getattr(self.metric, "calls", 0)
             )
-        labels: List[int] = []
-        root_to_label: dict = {}
-        for pid in range(len(self._points)):
-            root = self._uf.find(pid)
-            if root not in root_to_label:
-                root_to_label[root] = len(root_to_label)
-            labels.append(root_to_label[root])
+        with maybe_span(self.tracer, "finalize",
+                        points=len(self._points)) as sp:
+            labels: List[int] = []
+            root_to_label: dict = {}
+            for pid in range(len(self._points)):
+                root = self._uf.find(pid)
+                if root not in root_to_label:
+                    root_to_label[root] = len(root_to_label)
+                labels.append(root_to_label[root])
+            sp.set(groups=len(root_to_label))
         return GroupingResult(labels, self._points)

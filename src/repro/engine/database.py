@@ -22,6 +22,8 @@ from repro.engine.executor.sgb import SGBConfig
 from repro.engine.schema import Schema
 from repro.engine.table import Table
 from repro.errors import CatalogError, PlanningError
+from repro.obs.metrics import MetricBag
+from repro.obs.trace import Tracer
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse
 from repro.sql.planner import Planner
@@ -88,6 +90,12 @@ class Database:
         Worker processes for PARTITION BY queries: ``0``/``1`` serial
         (default), ``n > 1`` a pool of ``n``, negative one per CPU.
         Results are bit-identical to serial execution.
+    ``trace``
+        Start with hierarchical span tracing enabled (see
+        :meth:`set_trace`).  Traced SELECTs run instrumented — every plan
+        node, SGB strategy phase, and worker partition emits a span into
+        :attr:`tracer`, and per-node counters/histograms fold into the
+        cumulative bag behind :meth:`metrics_snapshot`.
     """
 
     def __init__(
@@ -97,6 +105,7 @@ class Database:
         tiebreak: str = "random",
         seed: int = 0,
         parallel: int = 0,
+        trace: bool = False,
     ):
         self.catalog = Catalog()
         self.sgb_config = SGBConfig(
@@ -107,6 +116,78 @@ class Database:
             parallel=parallel,
         )
         self._stream_views: Dict[str, Any] = {}
+        #: Cumulative engine metrics (counters / timings / histograms)
+        #: collected from every instrumented execution — traced SELECTs,
+        #: ``analyze()`` runs, and streaming micro-batch flushes.
+        self._metrics = MetricBag()
+        self._queries = 0
+        #: The database's tracer; ``None`` until tracing is first enabled,
+        #: then kept (with its ring buffer) across :meth:`set_trace`
+        #: toggles so a dump after ``set_trace(False)`` still works.
+        self.tracer: Optional[Tracer] = None
+        if trace:
+            self.set_trace(True)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        return self.sgb_config.trace is not None
+
+    def set_trace(self, enabled: bool = True) -> None:
+        """Toggle span tracing for subsequent SELECTs and stream flushes.
+
+        Enabling installs the database tracer into the SGB executor config
+        (so operator phases and parallel workers emit spans) and into every
+        attached stream view's micro-batcher.  Disabling uninstalls it but
+        keeps the buffered spans, so :meth:`export_trace` still works.
+        """
+        if enabled:
+            if self.tracer is None:
+                self.tracer = Tracer()
+            self.sgb_config.trace = self.tracer
+        else:
+            self.sgb_config.trace = None
+        for view in self._stream_views.values():
+            view.batcher.tracer = self.sgb_config.trace
+
+    def export_trace(self, path: str) -> int:
+        """Dump buffered spans to ``path``; returns the span count.
+
+        A ``.jsonl`` suffix selects one-record-per-line JSON; anything
+        else gets the Chrome ``trace_event`` payload (Perfetto-loadable).
+        """
+        if self.tracer is None:
+            raise PlanningError(
+                "tracing was never enabled on this Database"
+            )
+        if str(path).endswith(".jsonl"):
+            return self.tracer.to_jsonl(path)
+        return self.tracer.to_chrome_trace_file(path)
+
+    def metrics_snapshot(self) -> str:
+        """One Prometheus text-format snapshot of the engine's metrics.
+
+        Unifies the cumulative SGB/executor counters, accumulated
+        timings, and latency histograms with per-stream-view counters
+        (labelled ``source="stream:<view>"``) and process-level extras
+        (queries executed, trace-buffer occupancy).  The full counter and
+        histogram vocabulary is always present, zero-valued when unused.
+        """
+        from repro.obs.export import prometheus_text
+
+        extra: Dict[str, float] = {"queries": float(self._queries)}
+        if self.tracer is not None:
+            extra["trace_spans_retained"] = float(len(self.tracer))
+            extra["trace_spans_dropped"] = float(self.tracer.dropped)
+        return prometheus_text(
+            self._metrics,
+            streams={
+                name: view.stats for name, view in self._stream_views.items()
+            },
+            extra_counters=extra,
+        )
 
     # ------------------------------------------------------------------
     # python-level API
@@ -157,6 +238,8 @@ class Database:
             eps=eps,
             metric=metric,
             batch_size=batch_size,
+            metrics=self._metrics,
+            tracer=self.sgb_config.trace,
             **engine_options,
         )
         self._stream_views[key] = view
@@ -242,12 +325,14 @@ class Database:
         if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
             raise PlanningError("explain_analyze() expects a single SELECT")
         plan = self._planner().plan_query(stmts[0])
-        attach(plan)
+        node_metrics = attach(plan, tracer=self.sgb_config.trace)
         try:
             rows = list(plan)
             text = render_analyze(plan)
             metrics = plan_metrics(plan)
         finally:
+            for nm in node_metrics:
+                self._metrics.merge(nm.bag)
             detach(plan)
         return AnalyzeResult(plan.schema.names(), rows, text, metrics)
 
@@ -255,10 +340,35 @@ class Database:
     def _planner(self) -> Planner:
         return Planner(self.catalog, self.sgb_config)
 
+    def _run_select_plan(self, plan) -> QueryResult:
+        """Run a planned SELECT, instrumented when tracing is enabled.
+
+        With tracing off this is the plain (zero-overhead) path.  With it
+        on, the whole execution runs inside a root ``query`` span, every
+        plan node is attached with both a metric bag and the tracer, and
+        the node bags fold into the database's cumulative metrics.
+        """
+        self._queries += 1
+        tracer = self.sgb_config.trace
+        if tracer is None:
+            return QueryResult(plan.schema.names(), plan.rows())
+        from repro.obs import attach, detach
+
+        node_metrics = attach(plan, tracer=tracer)
+        try:
+            with tracer.span("query", root=plan.describe()) as sp:
+                rows = list(plan)
+                sp.set(rows=len(rows))
+        finally:
+            for nm in node_metrics:
+                self._metrics.merge(nm.bag)
+            detach(plan)
+        return QueryResult(plan.schema.names(), rows)
+
     def _execute_statement(self, stmt: Any):
         if isinstance(stmt, (ast.Select, ast.Union)):
             plan = self._planner().plan_query(stmt)
-            return QueryResult(plan.schema.names(), plan.rows())
+            return self._run_select_plan(plan)
         if isinstance(stmt, ast.CreateTable):
             self.catalog.create_table(
                 stmt.name,

@@ -20,6 +20,7 @@ from repro.engine.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.obs.explain import NodeMetrics
+    from repro.obs.trace import Tracer
 
 
 class PhysicalOperator:
@@ -31,14 +32,29 @@ class PhysicalOperator:
     #: execution is completely untouched.
     _obs: "Optional[NodeMetrics]" = None
 
+    #: Trace slot filled by ``attach(plan, tracer=...)``; when set, each
+    #: execution pass of the node is wrapped in a span (lazily opened at
+    #: the first ``next()``, closed on exhaustion or early abandonment),
+    #: forming the plan-node layer of the query trace.
+    _tracer: "Optional[Tracer]" = None
+
     def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[tuple]:
         obs = self._obs
-        if obs is None:
+        tracer = self._tracer
+        if obs is None and tracer is None:
             return iter(self._execute())
-        return obs.record(self._execute())
+        it: Iterator[tuple] = self._execute()
+        if obs is not None:
+            it = obs.record(it)
+        if tracer is not None:
+            from repro.obs.trace import traced_iter
+
+            it = traced_iter(tracer, self.describe(), it,
+                             node=type(self).__name__)
+        return it
 
     def rows(self) -> List[tuple]:
         """Materialize the full output."""

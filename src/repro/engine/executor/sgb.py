@@ -23,10 +23,16 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import datetime as _dt
+import os
 
 from repro import kernels
 from repro.core.around import sgb_around_nd
-from repro.core.parallel import partition_seed, resolve_workers, run_partitions
+from repro.core.parallel import (
+    fold_obs_payload,
+    partition_seed,
+    resolve_workers,
+    run_partitions,
+)
 from repro.core.sgb_1d import sgb_around, sgb_segment
 from repro.core.sgb_all import SGBAllOperator
 from repro.core.sgb_any import SGBAnyOperator
@@ -35,6 +41,7 @@ from repro.engine.executor.base import PhysicalOperator
 from repro.engine.schema import Column, Schema
 from repro.engine.types import ANY
 from repro.errors import ExecutionError
+from repro.obs.trace import maybe_span
 from repro.sql.ast_nodes import AggCall, BindContext, Expr
 
 
@@ -58,15 +65,22 @@ class SGBConfig:
     process pool: ``0``/``1`` serial (default), ``n > 1`` a pool of ``n``
     workers, negative one worker per CPU.  Results are bit-identical to
     serial execution (see :mod:`repro.core.parallel`).
+
+    ``trace`` is an optional :class:`~repro.obs.trace.Tracer`; when set
+    (the Database installs its tracer here when tracing is on), the SGB
+    node emits strategy-phase and per-partition spans, and propagates
+    trace context into parallel worker processes.
     """
 
     def __init__(self, all_strategy: str = "index", any_strategy: str = "index",
-                 tiebreak: str = "random", seed: int = 0, parallel: int = 0):
+                 tiebreak: str = "random", seed: int = 0, parallel: int = 0,
+                 trace=None):
         self.all_strategy = all_strategy
         self.any_strategy = any_strategy
         self.tiebreak = tiebreak
         self.seed = seed
         self.parallel = parallel
+        self.trace = trace
 
 
 class SGBAggregate(PhysicalOperator):
@@ -119,11 +133,20 @@ class SGBAggregate(PhysicalOperator):
             strategy=self.config.any_strategy,
         )
 
+    @property
+    def _active_tracer(self):
+        """The node's tracer: ``attach(plan, tracer=)`` wins, then the
+        config-level tracer the Database installs (``SGBConfig.trace``)."""
+        return self._tracer if self._tracer is not None else self.config.trace
+
     def _make_operator(self, pkey: tuple = ()):
         bag = self._obs.bag if self._obs is not None else None
+        tracer = self._active_tracer
         if self.mode == "all":
-            return SGBAllOperator(metrics=bag, **self._operator_kwargs(pkey))
-        return SGBAnyOperator(metrics=bag, **self._operator_kwargs(pkey))
+            return SGBAllOperator(metrics=bag, tracer=tracer,
+                                  **self._operator_kwargs(pkey))
+        return SGBAnyOperator(metrics=bag, tracer=tracer,
+                              **self._operator_kwargs(pkey))
 
     def _spool_partitions(self) -> Tuple[Dict[tuple, tuple], List[tuple]]:
         """Partition child rows by the equality keys; §8.2 tuple store.
@@ -164,14 +187,19 @@ class SGBAggregate(PhysicalOperator):
     def _labels_parallel(
         self, partitions, partition_order, workers: int
     ) -> List[List[int]]:
-        """Group every partition on a process pool; merge worker counters.
+        """Group every partition on a process pool; merge worker payloads.
 
         Per-partition seeds make the labels bit-identical to the serial
         loop; each worker collects its own MetricBag (only when the parent
-        has one attached) whose counters and timings are folded back here
-        so EXPLAIN ANALYZE reports the same totals either way.
+        has one attached) whose counters, timings, and latency histograms
+        are folded back here so EXPLAIN ANALYZE reports the same totals
+        either way.  With tracing on, the current trace context
+        ``(trace_id, this node's span id)`` is propagated into every
+        worker, whose partition/phase spans come back already parented
+        onto it and are ingested into the parent tracer.
         """
         bag = self._obs.bag if self._obs is not None else None
+        tracer = self._active_tracer
         tasks = [
             (self.mode, partitions[pkey][0], self._operator_kwargs(pkey))
             for pkey in partition_order
@@ -181,34 +209,42 @@ class SGBAggregate(PhysicalOperator):
             workers,
             backend=kernels.active_backend(),
             want_metrics=bag is not None,
+            trace_context=tracer.context() if tracer is not None else None,
         )
         label_lists: List[List[int]] = []
-        for labels, counters, timings in results:
+        for labels, obs_payload in results:
             label_lists.append(labels)
-            if bag is not None:
-                for name, value in counters.items():
-                    bag.incr(name, value)
-                for name, seconds in timings.items():
-                    bag.add_time(name, seconds)
+            fold_obs_payload(obs_payload, bag=bag, tracer=tracer)
         return label_lists
 
     def _execute(self) -> Iterator[tuple]:
-        partitions, partition_order = self._spool_partitions()
+        tracer = self._active_tracer
+        with maybe_span(tracer, "spool") as sp:
+            partitions, partition_order = self._spool_partitions()
+            sp.set(partitions=len(partition_order))
         workers = resolve_workers(self.config.parallel)
         label_lists: Optional[List[List[int]]] = None
         if workers > 1 and len(partition_order) > 1:
-            label_lists = self._labels_parallel(
-                partitions, partition_order, workers
-            )
+            with maybe_span(tracer, "parallel_dispatch", workers=workers,
+                            partitions=len(partition_order)):
+                label_lists = self._labels_parallel(
+                    partitions, partition_order, workers
+                )
         specs = self._specs
         for i, pkey in enumerate(partition_order):
             points, spool = partitions[pkey]
             if label_lists is not None:
                 labels = label_lists[i]
             else:
-                operator = self._make_operator(pkey)
-                operator.add_many(points)
-                labels = operator.finalize().labels
+                # Same span shape as the worker-side run_partition, so a
+                # serial and a parallel execution of one query produce
+                # identical trace trees (modulo pids).
+                with maybe_span(tracer, "partition", partition=i,
+                                points=len(points), mode=self.mode,
+                                pid=os.getpid()):
+                    operator = self._make_operator(pkey)
+                    operator.add_many(points)
+                    labels = operator.finalize().labels
             group_accs: dict = {}
             order: List[int] = []
             for row, label in zip(spool, labels):

@@ -159,6 +159,10 @@ class Shell:
             return f"TPC-H-like data loaded at SF={sf:g}."
         if head == "\\stream":
             return self._stream(parts[1:])
+        if head == "\\trace":
+            return self._trace(parts[1:])
+        if head == "\\metrics":
+            return self.db.metrics_snapshot().rstrip("\n")
         if head == "\\help":
             return (
                 "\\d [table]   list tables / describe one\n"
@@ -168,9 +172,40 @@ class Shell:
                 "\\tpch [sf]   load the TPC-H-like dataset\n"
                 "\\stream ...  incremental SGB views "
                 "(\\stream for usage)\n"
+                "\\trace ...   span tracing: on | off | dump <path>\n"
+                "\\metrics     Prometheus text snapshot of engine metrics\n"
                 "\\q           quit"
             )
         return f"unknown meta-command {head!r} (try \\help)"
+
+    def _trace(self, args: List[str]) -> str:
+        """Toggle span tracing or dump the buffered trace to a file."""
+        usage = (
+            "usage: \\trace              show tracing state\n"
+            "       \\trace on|off       enable / disable span tracing\n"
+            "       \\trace dump <path>  write buffered spans "
+            "(.jsonl or Chrome trace JSON)"
+        )
+        if not args:
+            state = "on" if self.db.trace_enabled else "off"
+            tracer = self.db.tracer
+            buffered = len(tracer) if tracer is not None else 0
+            return f"Tracing is {state} ({buffered} spans buffered)."
+        if args[0] == "on":
+            self.db.set_trace(True)
+            return "Tracing is on."
+        if args[0] == "off":
+            self.db.set_trace(False)
+            return "Tracing is off."
+        if args[0] == "dump":
+            if len(args) != 2:
+                return usage
+            try:
+                n = self.db.export_trace(args[1])
+            except (ReproError, OSError) as exc:
+                return f"ERROR: {exc}"
+            return f"Wrote {n} span(s) to {args[1]}."
+        return usage
 
     def _stream(self, args: List[str]) -> str:
         """Manage incremental SGB views: create, inspect, drop, list."""

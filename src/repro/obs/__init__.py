@@ -1,9 +1,18 @@
-"""repro.obs — lightweight observability for the SGB engine.
+"""repro.obs — observability for the SGB engine.
 
-Spans, per-node counter bags, and the plan instrumentation behind
-``EXPLAIN ANALYZE``.  See :mod:`repro.obs.metrics` for the counter
-vocabulary shared with the streaming ``StreamStats`` and
-:mod:`repro.obs.explain` for the plan-level API.
+Three layers, cheapest first:
+
+* :mod:`repro.obs.metrics` — flat counters and total-time spans
+  (``MetricBag``), the vocabulary shared with the streaming
+  ``StreamStats``;
+* :mod:`repro.obs.hist` — fixed log-bucketed latency histograms
+  (per-probe / per-distance-batch / per-micro-batch distributions);
+* :mod:`repro.obs.trace` — hierarchical span tracing with ring-buffer
+  retention and JSONL / Chrome ``trace_event`` export.
+
+:mod:`repro.obs.explain` holds the plan instrumentation behind
+``EXPLAIN ANALYZE``; :mod:`repro.obs.export` renders one Prometheus
+text-format snapshot over all of it.
 """
 
 from repro.obs.explain import (
@@ -14,6 +23,13 @@ from repro.obs.explain import (
     plan_metrics,
     render_analyze,
 )
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.hist import (
+    BUCKET_BOUNDS_S,
+    HISTOGRAM_FIELDS,
+    HistogramTimer,
+    LatencyHistogram,
+)
 from repro.obs.metrics import (
     EXEC_COUNTER_FIELDS,
     SGB_COUNTER_FIELDS,
@@ -21,17 +37,39 @@ from repro.obs.metrics import (
     Span,
     span,
 )
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    TraceSpan,
+    chrome_trace_payload,
+    maybe_span,
+    traced_iter,
+    validate_chrome_trace,
+)
 
 __all__ = [
     "AnalyzeResult",
+    "BUCKET_BOUNDS_S",
     "EXEC_COUNTER_FIELDS",
+    "HISTOGRAM_FIELDS",
+    "HistogramTimer",
+    "LatencyHistogram",
     "MetricBag",
     "NodeMetrics",
     "SGB_COUNTER_FIELDS",
     "Span",
+    "SpanRecord",
+    "TraceSpan",
+    "Tracer",
     "attach",
+    "chrome_trace_payload",
     "detach",
+    "maybe_span",
+    "parse_prometheus_text",
     "plan_metrics",
+    "prometheus_text",
     "render_analyze",
     "span",
+    "traced_iter",
+    "validate_chrome_trace",
 ]

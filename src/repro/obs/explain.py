@@ -40,16 +40,31 @@ class NodeMetrics:
         The accumulated time is *inclusive* of the node's children (they
         run inside its ``next()``), mirroring PostgreSQL.  Time the
         consumer spends between rows is not charged to the node.
+
+        Close/exception-safe: if the producer raises mid-``next()`` or
+        the consumer stops early (LIMIT closing the generator, an error
+        in a downstream node), the ``finally`` still charges the
+        in-flight ``next()`` to ``time_s`` instead of silently dropping
+        it.
         """
         self.loops += 1
         clock = time.perf_counter
         t0 = clock()
-        for row in it:
+        charged = False  # is the segment since t0 already in time_s?
+        try:
+            for row in it:
+                self.time_s += clock() - t0
+                charged = True
+                self.rows_out += 1
+                yield row
+                t0 = clock()
+                charged = False
+            # Exhaustion: charge the final next() that raised StopIteration.
             self.time_s += clock() - t0
-            self.rows_out += 1
-            yield row
-            t0 = clock()
-        self.time_s += clock() - t0
+            charged = True
+        finally:
+            if not charged:
+                self.time_s += clock() - t0
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -60,15 +75,24 @@ class NodeMetrics:
         counters = self.bag.as_dict()
         if counters:
             out["counters"] = counters
+        histograms = self.bag.histogram_summaries()
+        if histograms:
+            out["histograms"] = histograms
         return out
 
 
-def attach(plan) -> List[NodeMetrics]:
-    """Hang a fresh NodeMetrics on every node of ``plan`` (pre-order)."""
+def attach(plan, tracer=None) -> List[NodeMetrics]:
+    """Hang a fresh NodeMetrics on every node of ``plan`` (pre-order).
+
+    With ``tracer`` (a :class:`~repro.obs.trace.Tracer`) given, every
+    node additionally opens a span per execution pass — the plan-node
+    layer of the query span hierarchy.
+    """
     attached: List[NodeMetrics] = []
 
     def walk(node) -> None:
         node._obs = NodeMetrics()
+        node._tracer = tracer
         attached.append(node._obs)
         for child in node.children():
             walk(child)
@@ -82,6 +106,7 @@ def detach(plan) -> None:
 
     def walk(node) -> None:
         node._obs = None
+        node._tracer = None
         for child in node.children():
             walk(child)
 

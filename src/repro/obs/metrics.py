@@ -27,6 +27,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from repro.obs.hist import HistogramTimer, LatencyHistogram
+
 
 #: Canonical SGB counter names, in reporting order.  Shared between the
 #: streaming StreamStats and the batch operators' MetricBag entries:
@@ -83,16 +85,29 @@ class MetricBag:
     ...     pass
     >>> bag.time("finalize") >= 0.0
     True
+
+    Latency *distributions* (per-probe, per-micro-batch, ...) go into
+    log-bucketed :class:`~repro.obs.hist.LatencyHistogram` entries via
+    :meth:`observe` / :meth:`hist_timer`; they merge across bags (and
+    worker processes) exactly like the flat counters.
     """
 
-    __slots__ = ("counters", "timings")
+    __slots__ = ("counters", "timings", "histograms")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.timings: Dict[str, float] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
 
     # -- counters ----------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> None:
+        if name.endswith("_s"):
+            # ``as_dict()`` suffixes timings with ``_s``; a counter named
+            # ``foo_s`` would silently collide with the ``foo`` timing.
+            raise ValueError(
+                f"counter name {name!r} ends with '_s', which is reserved "
+                f"for timing keys in as_dict()"
+            )
         self.counters[name] = self.counters.get(name, 0) + n
 
     def get(self, name: str, default: int = 0) -> int:
@@ -108,24 +123,54 @@ class MetricBag:
     def span(self, name: str) -> "Span":
         return Span(self, name)
 
+    # -- histograms --------------------------------------------------------
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get-or-create the named latency histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        return hist
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into the named histogram."""
+        self.histogram(name).observe(seconds)
+
+    def hist_timer(self, name: str) -> HistogramTimer:
+        """``with bag.hist_timer("probe_latency"):`` — one observation."""
+        return self.histogram(name).timer()
+
     # -- aggregation -------------------------------------------------------
     def merge(self, other: "MetricBag") -> "MetricBag":
-        """Fold ``other``'s counters and timings into this bag."""
+        """Fold ``other``'s counters, timings, and histograms into this."""
         for name, value in other.counters.items():
             self.incr(name, value)
         for name, seconds in other.timings.items():
             self.add_time(name, seconds)
+        for name, hist in other.histograms.items():
+            self.histogram(name).merge(hist)
         return self
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat dict: counters verbatim, timings suffixed with ``_s``."""
+        """Flat dict: counters verbatim, timings suffixed with ``_s``.
+
+        The ``_s`` suffix is a reserved namespace: :meth:`incr` rejects
+        counter names ending in ``_s``, so a timing can never be shadowed
+        by (or shadow) a counter.  Histograms are *not* flattened here —
+        see :meth:`histogram_summaries` and the Prometheus exporter.
+        """
         out: Dict[str, float] = dict(self.counters)
         for name, seconds in self.timings.items():
             out[f"{name}_s"] = seconds
         return out
 
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Per-histogram ``{count, sum_s, p50_s, p95_s, p99_s, max_s}``."""
+        return {
+            name: hist.as_dict() for name, hist in self.histograms.items()
+        }
+
     def __bool__(self) -> bool:
-        return bool(self.counters or self.timings)
+        return bool(self.counters or self.timings or self.histograms)
 
     def __repr__(self) -> str:
         body = ", ".join(
@@ -135,7 +180,15 @@ class MetricBag:
 
 
 class Span:
-    """Context manager adding its elapsed wall time to a bag entry."""
+    """Context manager adding its elapsed wall time to a bag entry.
+
+    Single-use at a time: nesting ``__enter__`` on one instance raises
+    (two overlapping timers sharing one ``_t0`` would corrupt both
+    measurements), and exiting an unentered Span raises instead of
+    relying on an ``assert`` that ``python -O`` strips — which would
+    have surfaced as a ``TypeError`` on the float subtraction.
+    Sequential reuse of a finished Span is fine.
+    """
 
     __slots__ = ("_bag", "_name", "_t0")
 
@@ -145,12 +198,21 @@ class Span:
         self._t0: Optional[float] = None
 
     def __enter__(self) -> "Span":
+        if self._t0 is not None:
+            raise RuntimeError(
+                f"Span {self._name!r} is not re-entrant; it is already "
+                f"entered — create a new Span instead"
+            )
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        assert self._t0 is not None
+        if self._t0 is None:
+            raise RuntimeError(
+                f"Span {self._name!r} exited without being entered"
+            )
         self._bag.add_time(self._name, time.perf_counter() - self._t0)
+        self._t0 = None
 
 
 def span(bag: Optional[MetricBag], name: str):

@@ -12,11 +12,13 @@ handed to the batcher.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.api import validate_point
 from repro.core.result import GroupingResult
 from repro.errors import InvalidParameterError, StreamStateError
+from repro.obs.metrics import MetricBag
+from repro.obs.trace import Tracer, maybe_span
 from repro.streaming.stats import BatchRecord, StreamStats
 
 
@@ -32,15 +34,27 @@ class MicroBatcher:
     batch_size:
         Rows per flush; ``1`` degenerates to point-at-a-time ingestion and
         a value >= the stream length to one giant batch.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricBag`; each flush records
+        its wall time into the ``micro_batch_latency`` histogram.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each flush emits one
+        ``micro_batch`` span tagged with the batch's StreamStats delta.
+        Reassignable at any time (the Database swaps it on ``\\trace``
+        toggles).
     """
 
-    def __init__(self, engine, batch_size: int = 64):
+    def __init__(self, engine, batch_size: int = 64,
+                 metrics: Optional[MetricBag] = None,
+                 tracer: Optional[Tracer] = None):
         if batch_size < 1:
             raise InvalidParameterError(
                 f"batch_size must be >= 1, got {batch_size}"
             )
         self.engine = engine
         self.batch_size = int(batch_size)
+        self.metrics = metrics
+        self.tracer = tracer
         self._pending: List[Sequence[float]] = []
         self._dim = None
         self.batches: List[BatchRecord] = []
@@ -88,11 +102,16 @@ class MicroBatcher:
             return
         batch, self._pending = self._pending, []
         before = self.engine.stats.copy()
-        start = time.perf_counter()
-        self.engine.extend(batch)
-        elapsed = time.perf_counter() - start
-        self.engine.stats.wall_time_s += elapsed
-        delta = self.engine.stats - before
+        with maybe_span(self.tracer, "micro_batch",
+                        batch=len(self.batches), size=len(batch)) as sp:
+            start = time.perf_counter()
+            self.engine.extend(batch)
+            elapsed = time.perf_counter() - start
+            self.engine.stats.wall_time_s += elapsed
+            delta = self.engine.stats - before
+            sp.set(**delta.span_attrs())
+        if self.metrics is not None:
+            self.metrics.observe("micro_batch_latency", elapsed)
         self.batches.append(BatchRecord(len(self.batches), len(batch), delta))
 
     # ------------------------------------------------------------------

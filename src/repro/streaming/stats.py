@@ -80,6 +80,20 @@ class StreamStats:
         out["wall_time_s"] = self.wall_time_s
         return out
 
+    def span_attrs(self) -> Dict[str, float]:
+        """Non-zero counters only — compact attributes for a trace span.
+
+        A micro-batch delta is mostly zeros (e.g. SGB-Any never drops a
+        group); tagging spans with just the counters that moved keeps the
+        exported trace files small.
+        """
+        out: Dict[str, float] = {
+            f: getattr(self, f) for f in _FIELDS if getattr(self, f)
+        }
+        if self.wall_time_s:
+            out["wall_ms"] = round(self.wall_time_s * 1000.0, 3)
+        return out
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, StreamStats):
             return NotImplemented

@@ -42,6 +42,9 @@ class StreamingGroupView:
         ``"any"`` or ``"all"`` — which SGB semantics to maintain.
     eps / metric / batch_size / engine_options:
         Forwarded to the streaming engine and micro-batcher.
+    metrics / tracer:
+        Observability collectors handed to the micro-batcher (the owning
+        Database passes its cumulative bag and, when tracing, its tracer).
     """
 
     def __init__(
@@ -54,6 +57,8 @@ class StreamingGroupView:
         eps: float,
         metric: str = "l2",
         batch_size: int = 32,
+        metrics=None,
+        tracer=None,
         **engine_options,
     ):
         if not columns:
@@ -74,7 +79,8 @@ class StreamingGroupView:
                 f"unknown streaming mode {mode!r}; expected 'any' or 'all'"
             )
         self.eps = engine.eps
-        self.batcher = MicroBatcher(engine, batch_size=batch_size)
+        self.batcher = MicroBatcher(engine, batch_size=batch_size,
+                                    metrics=metrics, tracer=tracer)
         self._row_ids: List[int] = []  # table positions of ingested rows
         self._skipped = 0
         self._attached = False

@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.obs import MetricBag, NodeMetrics, span
 from repro.obs.metrics import EXEC_COUNTER_FIELDS, SGB_COUNTER_FIELDS
 
@@ -100,3 +102,114 @@ class TestNodeMetrics:
         assert "counters" not in d
         nm.bag.incr("rows_skipped_null")
         assert nm.as_dict()["counters"] == {"rows_skipped_null": 1}
+
+
+class TestTimingNamespace:
+    def test_counter_names_ending_in_s_rejected(self):
+        # as_dict() suffixes timings with `_s`; a counter named like one
+        # would silently collide with a timing in the flattened dict.
+        bag = MetricBag()
+        with pytest.raises(ValueError):
+            bag.incr("wall_time_s")
+
+    def test_timing_and_counter_coexist_without_collision(self):
+        bag = MetricBag()
+        bag.incr("ingest", 2)
+        bag.add_time("ingest", 0.5)
+        d = bag.as_dict()
+        assert d["ingest"] == 2
+        assert d["ingest_s"] == 0.5
+
+
+class TestBagHistograms:
+    def test_observe_and_summaries(self):
+        bag = MetricBag()
+        bag.observe("probe_latency", 1e-5)
+        bag.observe("probe_latency", 2e-5)
+        summaries = bag.histogram_summaries()
+        assert summaries["probe_latency"]["count"] == 2
+        assert bag  # non-empty with only histogram content
+
+    def test_hist_timer_records(self):
+        bag = MetricBag()
+        with bag.hist_timer("micro_batch_latency"):
+            pass
+        assert bag.histogram("micro_batch_latency").count == 1
+
+    def test_merge_folds_histograms(self):
+        a, b = MetricBag(), MetricBag()
+        a.observe("probe_latency", 1e-6)
+        b.observe("probe_latency", 1e-3)
+        b.observe("distance_batch_latency", 1e-4)
+        a.merge(b)
+        assert a.histogram("probe_latency").count == 2
+        assert a.histogram("distance_batch_latency").count == 1
+        assert b.histogram("probe_latency").count == 1  # source untouched
+
+
+class TestSpanGuards:
+    def test_span_exit_without_enter_raises(self):
+        bag = MetricBag()
+        sp = bag.span("work")
+        with pytest.raises(RuntimeError):
+            sp.__exit__(None, None, None)
+
+    def test_span_not_reentrant_while_open(self):
+        bag = MetricBag()
+        sp = bag.span("work")
+        with sp:
+            with pytest.raises(RuntimeError):
+                sp.__enter__()
+        # sequential reuse after a clean exit is fine
+        with sp:
+            pass
+
+    def test_span_records_time_despite_exception(self):
+        bag = MetricBag()
+        with pytest.raises(KeyError):
+            with bag.span("work"):
+                time.sleep(0.001)
+                raise KeyError("boom")
+        assert bag.time("work") > 0
+
+
+class TestNodeMetricsCloseSafety:
+    def test_early_close_charges_inflight_time(self):
+        # LIMIT-style early stop: the consumer abandons the iterator
+        # mid-stream; the time spent producing the unconsumed next row
+        # (and the segment since the last yield) must still be charged.
+        def slow_rows():
+            yield (1,)
+            time.sleep(0.01)
+            yield (2,)
+
+        nm = NodeMetrics()
+        it = nm.record(slow_rows())
+        next(it)
+        next(it)
+        it.close()
+        assert nm.time_s >= 0.01
+        assert nm.rows_out == 2
+
+    def test_producer_exception_charges_time(self):
+        def exploding_rows():
+            yield (1,)
+            time.sleep(0.01)
+            raise RuntimeError("producer died")
+
+        nm = NodeMetrics()
+        it = nm.record(exploding_rows())
+        next(it)
+        with pytest.raises(RuntimeError):
+            next(it)
+        assert nm.time_s >= 0.01
+        assert nm.rows_out == 1
+
+    def test_no_double_charge_on_clean_exhaustion(self):
+        nm = NodeMetrics()
+        rows = list(nm.record(iter([(1,)] * 5)))
+        assert len(rows) == 5
+        # A clean pass over a trivial iterator stays far under the 10 ms
+        # sentinel used above — double charging the finally block would
+        # not, because `charged` resets after every yield.
+        assert nm.time_s < 0.01
