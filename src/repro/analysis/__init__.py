@@ -1,0 +1,50 @@
+"""sgblint — AST-based invariant linter for the SGB reproduction.
+
+The subsystems grown in PRs 1–4 rest on conventions that ordinary linters
+cannot see: JOIN-ANY replayability needs every random draw seeded and every
+candidate scan id-ordered, backend bit-parity needs hot-path math funnelled
+through :mod:`repro.kernels`, the Prometheus exporter needs disciplined
+counter names, trace trees need spans that always close, and the partition
+pool needs picklable tasks.  This package turns those tribal rules into
+mechanical checks:
+
+* a rule registry (:mod:`repro.analysis.registry`) with one visitor per
+  rule (:mod:`repro.analysis.rules`), each carrying an ``--explain``-able
+  docstring;
+* a runner (:mod:`repro.analysis.runner`) producing file/line
+  :class:`~repro.analysis.findings.Finding` records, honouring inline
+  ``# sgblint: disable=...`` pragmas;
+* a baseline file (:mod:`repro.analysis.baseline`) for grandfathered
+  violations, so the CI gate only fails on *new* ones;
+* a CLI: ``python -m repro.analysis [--format text|json] paths...``.
+
+Rule catalog (see ``docs/static_analysis.md`` for the rationale):
+
+====== ==================================================================
+SGB001 determinism — unseeded RNGs, wall-clock reads, set-order iteration
+SGB002 backend discipline — inline distance math outside repro.kernels
+SGB003 metrics naming — Prometheus-exportable MetricBag/span name literals
+SGB004 span safety — spans/timers must be used as context managers
+SGB005 parallel picklability — no lambdas/closures into the process pool
+SGB006 error taxonomy — engine/sql raise repro.errors subclasses
+====== ==================================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule
+from repro.analysis.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

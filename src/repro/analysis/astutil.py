@@ -1,0 +1,92 @@
+"""Small AST helpers shared by the sgblint rule visitors."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Call nodes and subscripts break the chain (``a().b`` is not a static
+    dotted path), which is exactly the conservatism the rules want.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Local names bound to ``import module`` / ``import module as x``."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    out.add(alias.asname or alias.name.split(".")[0])
+    return out
+
+
+def from_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    """``{local_name: original_name}`` for ``from module import ...``."""
+    out: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = alias.name
+    return out
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Optional[ast.AST]]]:
+    """``(node, parent)`` pairs in document order."""
+    stack: list = [(tree, None)]
+    while stack:
+        node, parent = stack.pop()
+        yield node, parent
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((child, node))
+
+
+def parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    return {
+        child: parent
+        for parent in ast.walk(tree)
+        for child in ast.iter_child_nodes(parent)
+    }
+
+
+def str_const(node: ast.AST) -> Optional[str]:
+    """The value of a string Constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def nested_function_names(tree: ast.AST) -> Set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: Set[str] = set()
+
+    class _V(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_func(self, node) -> None:
+            if self.depth > 0:
+                nested.add(node.name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        visit_FunctionDef = _visit_func
+        visit_AsyncFunctionDef = _visit_func
+
+    _V().visit(tree)
+    return nested

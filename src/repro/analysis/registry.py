@@ -1,0 +1,107 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with an ``id`` (``SGBnnn``), a one-line ``title``, a
+docstring (rendered by ``--explain``), and a ``check(ctx)`` generator
+yielding :class:`~repro.analysis.findings.Finding` objects.  Importing
+:mod:`repro.analysis.rules` registers the built-in rules via the
+:func:`register` decorator; third-party checks could register the same
+way, which is why the registry is data, not a hard-coded list.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+
+_RULE_ID_RE = re.compile(r"SGB[0-9]{3}\Z")
+
+
+class Rule:
+    """Base class for sgblint rules.  Subclass, set ``id``/``title``,
+    implement :meth:`check`, and decorate with :func:`register`."""
+
+    id: str = "SGB000"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    # -- helpers for subclasses -------------------------------------------
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            self.id, ctx.path,
+            getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+            message, self.severity,
+        )
+
+    @classmethod
+    def explanation(cls) -> str:
+        """The rule's rendered ``--explain`` text (its docstring)."""
+        doc = inspect.getdoc(cls) or cls.title or "(no documentation)"
+        return doc
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.id}: {self.title}>"
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not _RULE_ID_RE.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} does not match SGBnnn")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, ordered by id (imports them on first use)."""
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {known}"
+        ) from None
+
+
+def rule_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    # Deferred so `import repro.analysis.registry` alone cannot recurse
+    # through the rule modules (which import this module for @register).
+    if not _REGISTRY:
+        from repro.analysis import rules  # noqa: F401
+
+
+def run_rules(ctx: FileContext,
+              rules: Iterable[Rule] = ()) -> List[Finding]:
+    """Run ``rules`` (default: all registered) over one file context,
+    honouring per-line pragma suppression."""
+    chosen = list(rules) or all_rules()
+    out: List[Finding] = []
+    for rule in chosen:
+        for f in rule.check(ctx):
+            if not ctx.is_disabled(f.line, f.rule):
+                out.append(f)
+    return out

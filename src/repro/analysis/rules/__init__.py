@@ -1,0 +1,21 @@
+"""Built-in sgblint rules.  Importing this package registers them all."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (import = register)
+    backend_discipline,
+    determinism,
+    error_taxonomy,
+    metrics_naming,
+    picklability,
+    span_safety,
+)
+
+__all__ = [
+    "determinism",
+    "backend_discipline",
+    "metrics_naming",
+    "span_safety",
+    "picklability",
+    "error_taxonomy",
+]

@@ -1,0 +1,120 @@
+"""SGB002 — hot-path distance math must flow through repro.kernels."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import dotted_name, from_imports, import_aliases
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Packages allowed to do coordinate math directly: the kernel backends
+#: themselves and the computational-geometry layer they are built on.
+ALLOWED = ("repro.kernels", "repro.geometry")
+
+#: ``math`` functions that are distance computations in disguise.
+DISTANCE_MATH_FNS = frozenset({"sqrt", "hypot", "dist"})
+
+
+@register
+class BackendDisciplineRule(Rule):
+    """Distance math outside ``repro.kernels`` / ``repro.geometry`` must
+    call the kernel primitives, not reimplement them.
+
+    Backend bit-parity (numpy vs python producing identical memberships
+    *and* identical CountingMetric charges) only holds because every hot
+    path evaluates the similarity predicate through the
+    :mod:`repro.kernels` seam.  An inline ``math.sqrt(sum((a - b) ** 2
+    ...))`` silently forks the arithmetic: it never vectorizes, it
+    charges no ``distance_computations`` counter, and its float summation
+    order can disagree with the kernel's at the ulp level — exactly the
+    drift the agreement suites exist to prevent.
+
+    Outside the allowed packages this rule flags, in any ``repro.*``
+    module:
+
+    * calls to ``math.sqrt`` / ``math.hypot`` / ``math.dist`` (however
+      imported);
+    * per-coordinate accumulation loops — a ``sum(...)`` over a
+      comprehension whose element multiplies or raises a coordinate
+      difference (``(a - b) * (a - b)``, ``(a - b) ** 2``, ``abs(a - b)
+      ** p``).
+
+    Use :func:`repro.kernels.pairwise_within` /
+    :func:`~repro.kernels.neighbors_in_eps` for predicate blocks, or a
+    :class:`~repro.core.distance.Metric` instance for scalar distances.
+    Deliberate scalar baselines (the reference ``Metric`` definitions,
+    SQL scalar functions) carry ``# sgblint: disable=SGB002`` pragmas or
+    baseline entries with justifications.
+    """
+
+    id = "SGB002"
+    title = "inline distance math outside the kernel/geometry layers"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro") or ctx.in_package(*ALLOWED):
+            return
+        math_aliases = import_aliases(ctx.tree, "math")
+        math_fn_locals = {
+            local for local, orig in from_imports(ctx.tree, "math").items()
+            if orig in DISTANCE_MATH_FNS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in math_fn_locals:
+                    yield self.finding(
+                        ctx, node,
+                        f"'{func.id}()' outside repro.kernels/"
+                        f"repro.geometry; route distance math through "
+                        f"kernel primitives or a Metric",
+                    )
+                elif func.id == "sum" and node.args:
+                    yield from self._check_accumulation(ctx, node)
+            elif isinstance(func, ast.Attribute):
+                base = dotted_name(func.value)
+                if base in math_aliases and func.attr in DISTANCE_MATH_FNS:
+                    yield self.finding(
+                        ctx, node,
+                        f"'{base}.{func.attr}()' outside repro.kernels/"
+                        f"repro.geometry; route distance math through "
+                        f"kernel primitives or a Metric",
+                    )
+
+    def _check_accumulation(self, ctx: FileContext,
+                            node: ast.Call) -> Iterator[Finding]:
+        arg = node.args[0]
+        if not isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            return
+        if self._is_coordinate_accumulation(arg.elt):
+            yield self.finding(
+                ctx, node,
+                "per-coordinate distance accumulation loop; use "
+                "repro.kernels primitives (pairwise_within / "
+                "neighbors_in_eps) or a Metric instance",
+            )
+
+    @staticmethod
+    def _is_coordinate_accumulation(elt: ast.AST) -> bool:
+        """A squared/powered coordinate difference: ``(a-b)*(a-b)``,
+        ``(a-b)**2``, ``abs(a-b)**p``."""
+        for sub in ast.walk(elt):
+            if not isinstance(sub, ast.BinOp):
+                continue
+            if not isinstance(sub.op, (ast.Mult, ast.Pow)):
+                continue
+            for part in (sub.left, sub.right):
+                inner = part
+                if (isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id == "abs" and inner.args):
+                    inner = inner.args[0]
+                if isinstance(inner, ast.BinOp) and isinstance(
+                    inner.op, ast.Sub
+                ):
+                    return True
+        return False

@@ -1,0 +1,193 @@
+"""SGB001 — determinism discipline in the grouping hot paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import dotted_name, from_imports, import_aliases
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Modules whose grouping decisions must replay bit-identically
+#: (serial-vs-parallel parity, JOIN-ANY tiebreak replays, backend parity).
+SCOPE = ("repro.core", "repro.streaming", "repro.kernels")
+
+#: ``random`` module functions that draw from the *global* (unseeded
+#: process-wide) generator.
+GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "randbytes", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "binomialvariate", "seed",
+})
+
+#: Wall-clock reads.  ``perf_counter``/``monotonic`` are fine — they only
+#: ever feed *measurements*, never grouping decisions.
+WALLCLOCK_TIME_FNS = frozenset({"time", "time_ns"})
+WALLCLOCK_DT_METHODS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class DeterminismRule(Rule):
+    """Grouping code must be replayable: no unseeded randomness, no
+    wall-clock reads, no iteration in set hash order.
+
+    The order-independent-semantics companion paper (arXiv:1412.4303)
+    makes nondeterminism a first-class SGB correctness concern, and this
+    repo's parity suites (serial-vs-parallel, numpy-vs-python, streaming
+    -vs-batch) all assume that re-running an operator replays the same
+    decisions.  Inside ``repro.core``, ``repro.streaming`` and
+    ``repro.kernels`` this rule therefore flags:
+
+    * calls on the ``random`` module's global generator
+      (``random.random()``, ``random.shuffle()``, ...) and unseeded
+      ``random.Random()`` — construct ``random.Random(seed)`` (the
+      operators derive per-partition seeds via ``partition_seed``);
+    * ``numpy.random`` usage other than ``default_rng(seed)`` — the
+      legacy global numpy RNG is process-wide mutable state;
+    * ``time.time()`` / ``datetime.now()`` and friends —
+      ``time.perf_counter()`` is the sanctioned clock for *measuring*,
+      and nothing in a grouping decision may depend on when it ran;
+    * ``for``-loops and comprehensions iterating directly over a set
+      literal, set comprehension, or ``set()``/``frozenset()`` call —
+      set order follows the hash seed, so feeding it into group
+      assignment breaks replay; sort (``sorted(...)``) first.
+
+    Wrong::
+
+        order = list(candidate_ids & alive)   # hash order
+        random.shuffle(order)                 # global RNG
+
+    Right::
+
+        order = sorted(candidate_ids & alive)
+        self._rng.shuffle(order)              # rng = random.Random(seed)
+    """
+
+    id = "SGB001"
+    title = "unseeded randomness, wall-clock reads, or set-order iteration"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SCOPE):
+            return
+        random_aliases = import_aliases(ctx.tree, "random")
+        numpy_aliases = import_aliases(ctx.tree, "numpy")
+        time_aliases = import_aliases(ctx.tree, "time")
+        dt_aliases = import_aliases(ctx.tree, "datetime")
+        global_fn_locals = {
+            local for local, orig in from_imports(ctx.tree, "random").items()
+            if orig in GLOBAL_RANDOM_FNS
+        }
+        time_fn_locals = {
+            local for local, orig in from_imports(ctx.tree, "time").items()
+            if orig in WALLCLOCK_TIME_FNS
+        }
+        dt_class_locals = {
+            local for local, orig in from_imports(ctx.tree, "datetime").items()
+            if orig in ("datetime", "date")
+        }
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(
+                    ctx, node, random_aliases, numpy_aliases,
+                    time_aliases, dt_aliases, global_fn_locals,
+                    time_fn_locals, dt_class_locals,
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._check_iteration(ctx, gen.iter)
+
+    # -- unseeded RNG / wall clock ----------------------------------------
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    random_aliases: Set[str], numpy_aliases: Set[str],
+                    time_aliases: Set[str], dt_aliases: Set[str],
+                    global_fn_locals: Set[str], time_fn_locals: Set[str],
+                    dt_class_locals: Set[str]) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in global_fn_locals:
+                yield self.finding(
+                    ctx, node,
+                    f"'{func.id}()' draws from the global random "
+                    f"generator; use a seeded random.Random instance",
+                )
+            elif func.id in time_fn_locals:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read '{func.id}()'; use "
+                    f"time.perf_counter() for durations",
+                )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = dotted_name(func.value)
+        attr = func.attr
+        if base in random_aliases:
+            if attr in GLOBAL_RANDOM_FNS:
+                yield self.finding(
+                    ctx, node,
+                    f"'{base}.{attr}()' draws from the global random "
+                    f"generator; use a seeded random.Random instance",
+                )
+            elif attr == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "unseeded random.Random(); pass an explicit seed "
+                    "(see repro.core.parallel.partition_seed)",
+                )
+        elif base is not None and (
+            base in {f"{np}.random" for np in numpy_aliases}
+            or (base.split(".", 1)[0] in numpy_aliases
+                and ".random" in base)
+        ):
+            if attr == "default_rng" and (node.args or node.keywords):
+                return
+            yield self.finding(
+                ctx, node,
+                f"'{base}.{attr}()' uses numpy's global/legacy RNG; "
+                f"use numpy.random.default_rng(seed)",
+            )
+        elif base in time_aliases and attr in WALLCLOCK_TIME_FNS:
+            yield self.finding(
+                ctx, node,
+                f"wall-clock read '{base}.{attr}()'; use "
+                f"time.perf_counter() for durations",
+            )
+        elif attr in WALLCLOCK_DT_METHODS and base is not None:
+            root, _, rest = base.partition(".")
+            is_dt = (
+                root in dt_aliases and rest in ("datetime", "date", "")
+            ) or base in dt_class_locals
+            if is_dt:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read '{base}.{attr}()'; grouping code "
+                    f"must not depend on the current date/time",
+                )
+
+    # -- set-order iteration ----------------------------------------------
+    def _check_iteration(self, ctx: FileContext,
+                         iter_node: ast.AST) -> Iterator[Finding]:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                ctx, iter_node,
+                "iteration over a set literal is hash-ordered and not "
+                "replayable; sort first (sorted(...))",
+            )
+        elif isinstance(iter_node, ast.Call):
+            func = iter_node.func
+            if isinstance(func, ast.Name) and func.id in (
+                "set", "frozenset"
+            ):
+                yield self.finding(
+                    ctx, iter_node,
+                    f"iteration over {func.id}() is hash-ordered and "
+                    f"not replayable; sort first (sorted(...))",
+                )

@@ -1,0 +1,126 @@
+"""SGB005 — everything sent to the process pool must pickle."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import (
+    from_imports,
+    nested_function_names,
+    parent_map,
+)
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Executor methods that ship their callable to worker processes.
+DISPATCH_METHODS = frozenset({"submit", "map"})
+
+
+@register
+class PicklabilityRule(Rule):
+    """Callables dispatched to a ``ProcessPoolExecutor`` must be
+    module-level functions — lambdas, closures, and nested functions do
+    not pickle.
+
+    The partition-parallel layer (``repro.core.parallel``) exists because
+    ``run_partition`` is a *module-level* function over a plain-data
+    task tuple; anything less pickles only by accident of the start
+    method.  A lambda handed to ``pool.submit``/``pool.map`` raises
+    ``PicklingError`` at runtime — but only on the parallel path, which
+    default-serial test configs never execute, so the lint check is the
+    one that actually runs on every PR.
+
+    In any module that imports ``ProcessPoolExecutor``, this rule flags
+    ``.submit(fn, ...)`` / ``.map(fn, ...)`` calls whose ``fn`` is:
+
+    * a ``lambda`` expression,
+    * a function defined inside another function (a closure), or
+    * a local ``def`` in the dispatching function's own body.
+
+    Hoist the callable to module scope and pass its inputs through the
+    task tuple (see ``repro.core.parallel.PartitionTask``).
+    """
+
+    id = "SGB005"
+    title = "unpicklable callable dispatched to the process pool"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._imports_process_pool(ctx):
+            return
+        nested = nested_function_names(ctx.tree)
+        parents = parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr in DISPATCH_METHODS and node.args):
+                continue
+            if not self._receiver_is_pool(ctx, func.value, parents):
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                yield self.finding(
+                    ctx, node,
+                    f"lambda passed to pool.{func.attr}() cannot pickle; "
+                    f"hoist it to a module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in nested:
+                yield self.finding(
+                    ctx, node,
+                    f"nested function {target.id!r} passed to "
+                    f"pool.{func.attr}() cannot pickle; hoist it to "
+                    f"module level",
+                )
+
+    @staticmethod
+    def _imports_process_pool(ctx: FileContext) -> bool:
+        if "ProcessPoolExecutor" in from_imports(
+            ctx.tree, "concurrent.futures"
+        ).values():
+            return True
+        return any(
+            isinstance(n, ast.Import)
+            and any(a.name.startswith("concurrent.futures")
+                    for a in n.names)
+            for n in ast.walk(ctx.tree)
+        )
+
+    @staticmethod
+    def _receiver_is_pool(ctx: FileContext, receiver: ast.AST,
+                          parents) -> bool:
+        """Heuristic: the receiver name was bound to a
+        ``ProcessPoolExecutor(...)`` call (assignment or ``with ... as``),
+        or any attribute receiver in a pool-importing module."""
+        if not isinstance(receiver, ast.Name):
+            # self._pool.submit(...) and friends: assume pool-like in a
+            # module that imports ProcessPoolExecutor.
+            return True
+        name = receiver.id
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == name
+                       for t in node.targets) \
+                        and _is_pool_ctor(node.value):
+                    return True
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (item.optional_vars is not None
+                            and isinstance(item.optional_vars, ast.Name)
+                            and item.optional_vars.id == name
+                            and _is_pool_ctor(item.context_expr)):
+                        return True
+        return False
+
+
+def _is_pool_ctor(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "ProcessPoolExecutor"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "ProcessPoolExecutor"
+    return False

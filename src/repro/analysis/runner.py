@@ -1,0 +1,96 @@
+"""File discovery and rule execution for sgblint."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, syntax_error_finding
+from repro.analysis.registry import Rule, run_rules
+
+#: Directory basenames never descended into.
+EXCLUDED_DIR_NAMES = frozenset({
+    "__pycache__", ".git", ".venv", ".mypy_cache", ".ruff_cache",
+    ".pytest_cache", "build", "dist", "node_modules", ".eggs",
+})
+
+#: Path fragments skipped during *directory traversal* only — files named
+#: explicitly on the command line are always linted (the rule-fixture
+#: corpus under tests/analysis/fixtures is full of deliberate
+#: violations, but `python -m repro.analysis <fixture>` must still flag
+#: them for the fixture tests to mean anything).
+EXCLUDED_PATH_FRAGMENTS = ("tests/analysis/fixtures",)
+
+
+def _norm(path: str) -> str:
+    """Normalized, forward-slash, cwd-relative-when-possible path — the
+    spelling used in findings and baseline entries."""
+    rel = os.path.relpath(path)
+    if rel.startswith(".." + os.sep) or rel == "..":
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def iter_python_files(paths: Sequence[str],
+                      include_fixtures: bool = False) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    seen = set()
+    for raw in paths:
+        if os.path.isfile(raw):
+            norm = _norm(raw)
+            if norm not in seen:
+                seen.add(norm)
+                yield norm
+            continue
+        for dirpath, dirnames, filenames in os.walk(raw):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in EXCLUDED_DIR_NAMES
+            )
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                norm = _norm(os.path.join(dirpath, filename))
+                if not include_fixtures and any(
+                    frag in norm for frag in EXCLUDED_PATH_FRAGMENTS
+                ):
+                    continue
+                if norm not in seen:
+                    seen.add(norm)
+                    yield norm
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: Optional[str] = None,
+                rules: Iterable[Rule] = ()) -> List[Finding]:
+    """Lint a source string (the unit-test entry point).
+
+    ``module`` overrides the dotted module identity used for rule
+    scoping; fixtures alternatively embed ``# sgblint: module=...``.
+    """
+    try:
+        ctx = FileContext(path, source, module=module)
+    except SyntaxError as exc:
+        return [syntax_error_finding(path, exc)]
+    if ctx.skip_file:
+        return []
+    return run_rules(ctx, rules)
+
+
+def lint_file(path: str, module: Optional[str] = None,
+              rules: Iterable[Rule] = ()) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, _norm(path), module=module, rules=rules)
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Iterable[Rule] = (),
+               include_fixtures: bool = False) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by
+    location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths, include_fixtures=include_fixtures):
+        findings.extend(lint_file(path, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -31,6 +31,7 @@ class KMeansResult:
 
 
 def _sq_dist(p: Sequence[float], q: Sequence[float]) -> float:
+    # sgblint: disable-next-line=SGB002 -- scalar clustering baseline, not an SGB hot path
     return sum((a - b) * (a - b) for a, b in zip(p, q))
 
 
@@ -93,7 +94,7 @@ def kmeans(
 
     labels = [0] * len(pts)
     n_iter = 0
-    for n_iter in range(1, max_iter + 1):
+    for n_iter in range(1, max_iter + 1):  # noqa: B007 -- read after loop
         # assignment step
         for i, p in enumerate(pts):
             best = 0

@@ -21,7 +21,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.executor.sgb import SGBConfig
 from repro.engine.schema import Schema
 from repro.engine.table import Table
-from repro.errors import CatalogError, PlanningError
+from repro.errors import CatalogError, InvalidParameterError, PlanningError
 from repro.obs.metrics import MetricBag
 from repro.obs.trace import Tracer
 from repro.sql import ast_nodes as ast
@@ -48,7 +48,7 @@ class QueryResult:
     def scalar(self) -> Any:
         """The single value of a 1x1 result."""
         if len(self.rows) != 1 or len(self.columns) != 1:
-            raise ValueError(
+            raise InvalidParameterError(
                 f"scalar() needs a 1x1 result, got "
                 f"{len(self.rows)}x{len(self.columns)}"
             )

@@ -7,6 +7,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.engine.executor.base import PhysicalOperator
 from repro.engine.schema import Column, Schema
 from repro.engine.types import ANY
+from repro.errors import PlanningError
 from repro.sql.ast_nodes import BindContext, Expr
 
 
@@ -103,7 +104,7 @@ class HashJoin(PhysicalOperator):
                  residual: Optional[Expr],
                  ctx_factory: Callable[[Schema], BindContext]):
         if len(left_keys) != len(right_keys) or not left_keys:
-            raise ValueError("hash join needs matching non-empty key lists")
+            raise PlanningError("hash join needs matching non-empty key lists")
         self.left = left
         self.right = right
         self.schema = left.schema.concat(right.schema)
@@ -193,7 +194,7 @@ class HashLeftJoin(PhysicalOperator):
                  residual: Optional[Expr],
                  ctx_factory: Callable[[Schema], BindContext]):
         if len(left_keys) != len(right_keys) or not left_keys:
-            raise ValueError("hash join needs matching non-empty key lists")
+            raise PlanningError("hash join needs matching non-empty key lists")
         self.left = left
         self.right = right
         self.schema = left.schema.concat(right.schema)
@@ -250,7 +251,7 @@ class SimilarityJoin(PhysicalOperator):
                  residual: Optional[Expr],
                  ctx_factory: Callable[[Schema], BindContext]):
         if len(left_coords) != 2 or len(right_coords) != 2:
-            raise ValueError("similarity join needs 2-D coordinates")
+            raise PlanningError("similarity join needs 2-D coordinates")
         self.left = left
         self.right = right
         self.eps = float(eps)
@@ -312,10 +313,10 @@ class Concat(PhysicalOperator):
 
     def __init__(self, inputs: Sequence[PhysicalOperator]):
         if not inputs:
-            raise ValueError("Concat needs at least one input")
+            raise PlanningError("Concat needs at least one input")
         arities = {len(p.schema) for p in inputs}
         if len(arities) != 1:
-            raise ValueError(
+            raise PlanningError(
                 f"UNION inputs have differing column counts: {arities}"
             )
         self.inputs = list(inputs)

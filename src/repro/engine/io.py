@@ -107,7 +107,9 @@ def load_csv(
     """
     close = False
     if isinstance(source, str):
-        stream: IO[str] = open(source, newline="")
+        # Not a `with`: the stream is also accepted pre-opened from the
+        # caller, so closing is conditional (the finally below).
+        stream: IO[str] = open(source, newline="")  # noqa: SIM115
         close = True
     else:
         stream = source
@@ -168,7 +170,9 @@ def dump_csv(
     if target is None:
         buffer = io.StringIO()
     elif isinstance(target, str):
-        buffer = open(target, "w", newline="")
+        # Conditional close in the finally; `target` may be a caller-owned
+        # stream or None (StringIO).
+        buffer = open(target, "w", newline="")  # noqa: SIM115
     else:
         buffer = target
     try:

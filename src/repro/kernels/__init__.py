@@ -27,14 +27,17 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Iterator, List, Optional, Tuple
+import types
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError
 
+from repro.kernels._protocols import Coords, MetricLike, Point
 from repro.kernels import python_backend as _python
 
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
+_numpy: Optional[types.ModuleType]
 try:  # the numpy backend is optional (the ``fast`` extra)
     from repro.kernels import numpy_backend as _numpy
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
@@ -45,7 +48,7 @@ if _numpy is not None:
     _BACKENDS["numpy"] = _numpy
 
 
-def _select_initial():
+def _select_initial() -> types.ModuleType:
     choice = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
     if choice:
         if choice not in ("numpy", "python"):
@@ -103,48 +106,56 @@ def use_backend(name: str) -> Iterator[None]:
 # ----------------------------------------------------------------------
 # dispatched primitives
 # ----------------------------------------------------------------------
-def pairwise_within(points, q, eps, metric) -> List[bool]:
+def pairwise_within(points: Sequence[Coords], q: Coords, eps: float,
+                    metric: MetricLike) -> List[bool]:
     """Per-point results of ``metric.within(p, q, eps)`` over a block."""
     return _impl.pairwise_within(points, q, eps, metric)
 
 
-def neighbors_in_eps(points, q, eps, metric) -> List[int]:
+def neighbors_in_eps(points: Sequence[Coords], q: Coords, eps: float,
+                     metric: MetricLike) -> List[int]:
     """Indices of block points within ``eps`` of ``q`` (ascending)."""
     return _impl.neighbors_in_eps(points, q, eps, metric)
 
 
-def points_in_rect(points, lo, hi) -> List[bool]:
+def points_in_rect(points: Sequence[Coords], lo: Coords,
+                   hi: Coords) -> List[bool]:
     """Bulk closed-boundary point-in-rectangle tests."""
     return _impl.points_in_rect(points, lo, hi)
 
 
-def all_within(points, q, eps, metric) -> bool:
+def all_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     """Clique test: is ``q`` within ``eps`` of every block point?"""
     return _impl.all_within(points, q, eps, metric)
 
 
-def any_within(points, q, eps, metric) -> bool:
+def any_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     return _impl.any_within(points, q, eps, metric)
 
 
-def make_point_store():
+def make_point_store() -> Any:
     """Backend-native append-only point collection (dense ids)."""
     return _impl.make_point_store()
 
 
-def make_rect_store(dim: int):
+def make_rect_store(dim: int) -> Optional[Any]:
     """Bulk (ε-All rect, MBR) store, or None when the backend prefers
     the caller's per-group loops (python backend)."""
     return _impl.make_rect_store(dim)
 
 
-def make_group_block():
+def make_group_block() -> Optional[Any]:
     """Per-group contiguous member-coordinate block, or None."""
     return _impl.make_group_block()
 
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "Coords",
+    "MetricLike",
+    "Point",
     "active_backend",
     "available_backends",
     "set_backend",

@@ -1,0 +1,29 @@
+"""Structural types shared by the kernel backends.
+
+The kernels are deliberately decoupled from :mod:`repro.core.distance`
+(the reference ``Metric`` classes call *into* the kernel layer's callers,
+so a nominal import here would be a cycle); backends accept any object
+that looks like a metric.  ``MetricLike`` writes that duck contract down
+so the strict-mypy gate checks it instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, Tuple
+
+#: A point is an immutable coordinate tuple (the operators' row slice).
+Point = Tuple[float, ...]
+
+#: Loose input form: backends accept any float sequence per point.
+Coords = Sequence[float]
+
+
+class MetricLike(Protocol):
+    """What a kernel needs from a metric: a name (for exact-box special
+    cases like L∞) and the ε-predicate.  ``CountingMetric`` proxies match
+    too; backends that batch-charge them probe ``calls`` dynamically."""
+
+    @property
+    def name(self) -> str: ...
+
+    def within(self, p: Coords, q: Coords, eps: float) -> bool: ...

@@ -20,11 +20,11 @@ amortized O(d) with no list→array conversion on the query path.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-Point = Tuple[float, ...]
+from repro.kernels._protocols import Coords, MetricLike, Point
 
 name = "numpy"
 
@@ -39,7 +39,7 @@ SMALL_BLOCK = 24
 _EPS_BOX_FALLBACK = 96
 
 
-def _metric_kind(metric) -> Tuple[str, float]:
+def _metric_kind(metric: MetricLike) -> Tuple[str, float]:
     """Collapse a metric (possibly a CountingMetric proxy) to a kernel
     dispatch key: ``("l2"|"linf"|"lp", p)``."""
     inner = getattr(metric, "inner", metric)
@@ -55,13 +55,14 @@ def _metric_kind(metric) -> Tuple[str, float]:
     return "other", 0.0
 
 
-def _charge(metric, n: int) -> None:
+def _charge(metric: MetricLike, n: int) -> None:
     """Record ``n`` predicate evaluations on a counting metric proxy."""
     if hasattr(metric, "calls"):
-        metric.calls += n
+        metric.calls += n  # type: ignore[attr-defined]
 
 
-def _within_mask(coords: "np.ndarray", q, eps: float, metric):
+def _within_mask(coords: "np.ndarray", q: Coords, eps: float,
+                 metric: MetricLike) -> Optional["np.ndarray"]:
     """Boolean mask of rows of ``coords`` within ``eps`` of ``q``, or
     None when the metric has no vectorized form."""
     kind, p = _metric_kind(metric)
@@ -78,7 +79,8 @@ def _within_mask(coords: "np.ndarray", q, eps: float, metric):
 # ----------------------------------------------------------------------
 # stateless batch primitives
 # ----------------------------------------------------------------------
-def pairwise_within(points, q, eps, metric) -> List[bool]:
+def pairwise_within(points: Sequence[Coords], q: Coords, eps: float,
+                    metric: MetricLike) -> List[bool]:
     coords = np.asarray(points, dtype=np.float64)
     if coords.size == 0:
         return []
@@ -90,7 +92,8 @@ def pairwise_within(points, q, eps, metric) -> List[bool]:
     return mask.tolist()
 
 
-def neighbors_in_eps(points, q, eps, metric) -> List[int]:
+def neighbors_in_eps(points: Sequence[Coords], q: Coords, eps: float,
+                     metric: MetricLike) -> List[int]:
     coords = np.asarray(points, dtype=np.float64)
     if coords.size == 0:
         return []
@@ -102,7 +105,8 @@ def neighbors_in_eps(points, q, eps, metric) -> List[int]:
     return np.flatnonzero(mask).tolist()
 
 
-def points_in_rect(points, lo, hi) -> List[bool]:
+def points_in_rect(points: Sequence[Coords], lo: Coords,
+                   hi: Coords) -> List[bool]:
     coords = np.asarray(points, dtype=np.float64)
     if coords.size == 0:
         return []
@@ -112,7 +116,8 @@ def points_in_rect(points, lo, hi) -> List[bool]:
     return mask.tolist()
 
 
-def all_within(points, q, eps, metric) -> bool:
+def all_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     if len(points) < SMALL_BLOCK:
         within = metric.within
         return all(within(p, q, eps) for p in points)
@@ -124,7 +129,8 @@ def all_within(points, q, eps, metric) -> bool:
     return bool(mask.all())
 
 
-def any_within(points, q, eps, metric) -> bool:
+def any_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     if len(points) < SMALL_BLOCK:
         within = metric.within
         return any(within(p, q, eps) for p in points)
@@ -212,7 +218,8 @@ class PointStore:
     def get(self, i: int) -> Point:
         return self._coords.tuples[i]
 
-    def query_all(self, q, eps, metric) -> List[int]:
+    def query_all(self, q: Coords, eps: float,
+                  metric: MetricLike) -> List[int]:
         n = len(self._coords)
         if n == 0:
             return []
@@ -228,7 +235,8 @@ class PointStore:
             if within(p, q, eps)
         ]
 
-    def query_ids(self, ids, q, eps, metric) -> List[int]:
+    def query_ids(self, ids: Sequence[int], q: Coords, eps: float,
+                  metric: MetricLike) -> List[int]:
         if not ids:
             return []
         if len(ids) >= SMALL_BLOCK:
@@ -244,7 +252,8 @@ class PointStore:
         return [i for i in ids if within(tuples[i], q, eps)]
 
     def query_ids_eps_box(
-        self, ids, q, eps, metric, count: bool = True
+        self, ids: Sequence[int], q: Coords, eps: float,
+        metric: MetricLike, count: bool = True,
     ) -> Tuple[List[int], int]:
         """ε-box-filter ``ids`` around ``q`` then metric-verify.
 
@@ -277,7 +286,8 @@ class PointStore:
             return ids_a[mask].tolist(), n_window
         return ids_a[mask].tolist(), 0
 
-    def _eps_box_loop(self, ids, q, eps, metric) -> Tuple[List[int], int]:
+    def _eps_box_loop(self, ids: Sequence[int], q: Coords, eps: float,
+                      metric: MetricLike) -> Tuple[List[int], int]:
         """Pure-python fallback, byte-identical to the python backend."""
         tuples = self._coords.tuples
         dim2 = len(q) == 2
@@ -325,15 +335,18 @@ class GroupBlock:
         return len(self._coords)
 
     def append(self, point: Sequence[float]) -> None:
-        self._coords.append(point)
+        self._coords.append(tuple(point))
 
     def rebuild(self, points: Sequence[Sequence[float]]) -> None:
-        self._coords.rebuild(points)
+        self._coords.rebuild([tuple(p) for p in points])
 
-    def within_mask(self, q, eps, metric):
-        """Boolean list mask over members, or None if not vectorizable."""
+    def within_mask(
+        self, q: Coords, eps: float, metric: MetricLike,
+    ) -> "Optional[np.ndarray]":
+        """Boolean mask over members (empty for an empty block), or None
+        if not vectorizable."""
         if len(self._coords) == 0:
-            return []
+            return np.zeros(0, dtype=bool)
         mask = _within_mask(self._coords.view(), q, eps, metric)
         if mask is None:
             return None
@@ -358,9 +371,9 @@ class RectStore:
         self._eps_hi = np.full((cap, dim), -np.inf)
         self._mbr_lo = np.full((cap, dim), np.inf)
         self._mbr_hi = np.full((cap, dim), -np.inf)
-        self._items: List[object] = [None] * cap
+        self._items: List[Any] = [None] * cap
         self._free: List[int] = list(range(cap - 1, -1, -1))
-        self._slot_of: dict = {}
+        self._slot_of: Dict[Any, int] = {}
 
     def __len__(self) -> int:
         return len(self._slot_of)
@@ -377,7 +390,7 @@ class RectStore:
         self._items.extend([None] * (new - old))
         self._free.extend(range(new - 1, old - 1, -1))
 
-    def set(self, item, eps_rect, mbr) -> None:
+    def set(self, item: Any, eps_rect: Any, mbr: Any) -> None:
         """Insert or update the rectangles for ``item`` (a group id)."""
         slot = self._slot_of.get(item)
         if slot is None:
@@ -391,7 +404,7 @@ class RectStore:
         self._mbr_lo[slot] = mbr.lo
         self._mbr_hi[slot] = mbr.hi
 
-    def delete(self, item) -> None:
+    def delete(self, item: Any) -> None:
         slot = self._slot_of.pop(item)
         self._eps_lo[slot] = np.inf
         self._eps_hi[slot] = -np.inf
@@ -400,14 +413,14 @@ class RectStore:
         self._items[slot] = None
         self._free.append(slot)
 
-    def eps_contains(self, point) -> List[object]:
+    def eps_contains(self, point: Coords) -> List[Any]:
         """Items whose ε-All rectangle contains ``point`` (closed)."""
         q = np.asarray(point, dtype=np.float64)
         mask = ((self._eps_lo <= q) & (q <= self._eps_hi)).all(axis=1)
         items = self._items
         return [items[s] for s in np.flatnonzero(mask)]
 
-    def mbr_intersects(self, lo, hi) -> List[object]:
+    def mbr_intersects(self, lo: Coords, hi: Coords) -> List[Any]:
         """Items whose MBR intersects the closed box ``[lo, hi]``."""
         lo_a = np.asarray(lo, dtype=np.float64)
         hi_a = np.asarray(hi, dtype=np.float64)

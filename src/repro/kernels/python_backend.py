@@ -10,9 +10,9 @@ or ``REPRO_BACKEND=python`` forces this backend.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-Point = Tuple[float, ...]
+from repro.kernels._protocols import Coords, MetricLike, Point
 
 name = "python"
 
@@ -20,19 +20,22 @@ name = "python"
 # ----------------------------------------------------------------------
 # stateless batch primitives
 # ----------------------------------------------------------------------
-def pairwise_within(points, q, eps, metric) -> List[bool]:
+def pairwise_within(points: Sequence[Coords], q: Coords, eps: float,
+                    metric: MetricLike) -> List[bool]:
     """Per-point similarity predicate results against probe ``q``."""
     within = metric.within
     return [within(p, q, eps) for p in points]
 
 
-def neighbors_in_eps(points, q, eps, metric) -> List[int]:
+def neighbors_in_eps(points: Sequence[Coords], q: Coords, eps: float,
+                     metric: MetricLike) -> List[int]:
     """Indices of ``points`` within ``eps`` of ``q`` (ascending)."""
     within = metric.within
     return [i for i, p in enumerate(points) if within(p, q, eps)]
 
 
-def points_in_rect(points, lo, hi) -> List[bool]:
+def points_in_rect(points: Sequence[Coords], lo: Coords,
+                   hi: Coords) -> List[bool]:
     """Bulk closed-boundary PointInRectangleTest."""
     if len(lo) == 2:
         l0, l1 = lo
@@ -43,12 +46,14 @@ def points_in_rect(points, lo, hi) -> List[bool]:
     ]
 
 
-def all_within(points, q, eps, metric) -> bool:
+def all_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     within = metric.within
     return all(within(p, q, eps) for p in points)
 
 
-def any_within(points, q, eps, metric) -> bool:
+def any_within(points: Sequence[Coords], q: Coords, eps: float,
+               metric: MetricLike) -> bool:
     within = metric.within
     return any(within(p, q, eps) for p in points)
 
@@ -78,14 +83,16 @@ class PointStore:
     def get(self, i: int) -> Point:
         return self._points[i]
 
-    def query_all(self, q, eps, metric) -> List[int]:
+    def query_all(self, q: Coords, eps: float,
+                  metric: MetricLike) -> List[int]:
         """Ids of all stored points within ``eps`` of ``q``."""
         within = metric.within
         return [
             i for i, p in enumerate(self._points) if within(p, q, eps)
         ]
 
-    def query_ids(self, ids, q, eps, metric) -> List[int]:
+    def query_ids(self, ids: Iterable[int], q: Coords, eps: float,
+                  metric: MetricLike) -> List[int]:
         """Subset of ``ids`` whose point is within ``eps`` of ``q``
         (input order preserved)."""
         within = metric.within
@@ -93,7 +100,8 @@ class PointStore:
         return [i for i in ids if within(points[i], q, eps)]
 
     def query_ids_eps_box(
-        self, ids, q, eps, metric, count: bool = True
+        self, ids: Iterable[int], q: Coords, eps: float,
+        metric: MetricLike, count: bool = True,
     ) -> Tuple[List[int], int]:
         """ε-box-filter ``ids`` around ``q`` then verify with the metric.
 

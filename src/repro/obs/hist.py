@@ -28,7 +28,12 @@ from __future__ import annotations
 import math
 import time
 from bisect import bisect_left
-from typing import Dict, Iterator, List, Optional, Tuple
+from types import TracebackType
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+#: Picklable :meth:`LatencyHistogram.state` snapshot:
+#: ``(counts, count, sum_s, max_s, min_s)``.
+HistState = Tuple[List[int], int, float, float, float]
 
 #: First finite bucket boundary, in seconds (1 µs).
 BUCKET_START_S = 1e-6
@@ -161,13 +166,13 @@ class LatencyHistogram:
         return self
 
     # -- (de)serialization for worker-process fold-back --------------------
-    def state(self) -> Tuple:
+    def state(self) -> HistState:
         """Picklable snapshot; inverse of :meth:`from_state`."""
         return (list(self.counts), self.count, self.sum_s, self.max_s,
                 self.min_s)
 
     @classmethod
-    def from_state(cls, state: Tuple) -> "LatencyHistogram":
+    def from_state(cls, state: HistState) -> "LatencyHistogram":
         h = cls()
         counts, h.count, h.sum_s, h.max_s, h.min_s = state
         h.counts = list(counts)
@@ -216,7 +221,9 @@ class HistogramTimer:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
         if self._t0 is None:
             raise RuntimeError("HistogramTimer exited without being entered")
         self._hist.observe(time.perf_counter() - self._t0)

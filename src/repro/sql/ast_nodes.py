@@ -19,7 +19,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.schema import Schema
 from repro.engine.types import Interval
-from repro.errors import ExecutionError, PlanningError
+from repro.errors import ExecutionError, ParseError, PlanningError
 
 RowFn = Callable[[tuple], Any]
 
@@ -684,7 +684,7 @@ class Union:
 
     def __init__(self, selects: List[Select], all_flags: List[bool]):
         if len(all_flags) != len(selects) - 1:
-            raise ValueError("need one ALL flag per UNION")
+            raise ParseError("need one ALL flag per UNION")
         self.selects = selects
         self.all_flags = all_flags
 

@@ -721,7 +721,9 @@ def _make_post_agg_rewriter(
             try:
                 return ast.PostAggRef(agg_map[k])
             except KeyError:  # pragma: no cover - collected beforehand
-                raise PlanningError(f"aggregate {expr!r} was not planned")
+                raise PlanningError(
+                    f"aggregate {expr!r} was not planned"
+                ) from None
         if isinstance(expr, ast.ColumnRef):
             if sgb:
                 raise PlanningError(

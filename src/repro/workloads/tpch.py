@@ -145,7 +145,7 @@ class TPCHGenerator:
             odate = self._rand_date(rng)
             n_lines = rng.randint(*_LINEITEMS_PER_ORDER)
             total = 0.0
-            for line in range(1, n_lines + 1):
+            for _line in range(1, n_lines + 1):
                 lk += 1
                 pk = rng.randrange(1, n_part + 1)
                 # one of the suppliers that actually stocks the part

@@ -1,0 +1,18 @@
+# sgblint: module=repro.core.fixture_determinism_bad
+"""SGB001 true positives: global RNG, wall clock, set-order iteration."""
+
+import random
+import time
+
+
+def pick(candidates):
+    order = list(candidates)
+    random.shuffle(order)  # global generator
+    stamp = time.time()  # wall clock
+    for item in set(order):  # hash-ordered iteration
+        return item, stamp
+    return None, stamp
+
+
+def make_rng():
+    return random.Random()  # unseeded

@@ -1,0 +1,15 @@
+# sgblint: module=repro.core.fixture_determinism_good
+"""SGB001 true negatives: seeded RNG, perf_counter, sorted iteration."""
+
+import random
+import time
+
+
+def pick(candidates, seed):
+    rng = random.Random(seed)
+    order = sorted(set(candidates))
+    rng.shuffle(order)
+    started = time.perf_counter()
+    for item in order:
+        return item, started
+    return None, started

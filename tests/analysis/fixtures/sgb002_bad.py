@@ -1,0 +1,12 @@
+# sgblint: module=repro.core.fixture_backend_bad
+"""SGB002 true positives: inline distance math outside the kernels."""
+
+import math
+
+
+def l2(a, b):
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+def l2_flat(ax, ay, bx, by):
+    return math.hypot(ax - bx, ay - by)

@@ -1,0 +1,14 @@
+# sgblint: module=repro.core.fixture_backend_good
+"""SGB002 true negatives: distance work routed through the kernel seam."""
+
+from repro.kernels import neighbors_in_eps
+
+
+def candidates(points, q, eps, metric):
+    return neighbors_in_eps(points, q, eps, metric)
+
+
+def total(values):
+    # A plain sum over products of *non-difference* terms is not a
+    # distance accumulation and must not be flagged.
+    return sum(v * v for v in values)

@@ -1,0 +1,15 @@
+# sgblint: module=repro.core.fixture_span_good
+"""SGB004 true negatives: context-managed and factory-returned spans."""
+
+
+def work(bag, tracer, stack):
+    with tracer.span("phase"):
+        pass
+    sp = bag.span("load")
+    with sp:
+        pass
+    stack.enter_context(bag.span("probe"))
+
+
+def make_span(tracer, name):
+    return tracer.span(name)

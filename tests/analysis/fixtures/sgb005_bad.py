@@ -1,0 +1,14 @@
+# sgblint: module=repro.core.fixture_pickle_bad
+"""SGB005 true positives: unpicklable callables shipped to the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(tasks):
+    def helper(task):  # local def: a closure, cannot pickle
+        return task * 2
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda t: t + 1, t) for t in tasks]
+        doubled = list(pool.map(helper, tasks))
+    return futures, doubled

@@ -1,0 +1,13 @@
+# sgblint: module=repro.core.fixture_pickle_good
+"""SGB005 true negatives: module-level workers pickle fine."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def worker(task):
+    return task * 2
+
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, tasks))

@@ -1,0 +1,10 @@
+# sgblint: module=repro.engine.fixture_errors_bad
+"""SGB006 true positives: bare builtin raises in engine-layer code."""
+
+
+def bind(columns):
+    if not columns:
+        raise ValueError("need at least one column")
+    if len(columns) > 64:
+        raise RuntimeError("too many columns")
+    return columns

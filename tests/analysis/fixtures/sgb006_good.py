@@ -1,0 +1,12 @@
+# sgblint: module=repro.engine.fixture_errors_good
+"""SGB006 true negatives: taxonomy raises only."""
+
+from repro.errors import ExecutionError, PlanningError
+
+
+def bind(columns):
+    if not columns:
+        raise PlanningError("need at least one column")
+    if len(columns) > 64:
+        raise ExecutionError("too many columns")
+    return columns

@@ -1,0 +1,91 @@
+"""Baseline round-trip, suppression accounting, and staleness."""
+
+import json
+
+from repro.analysis.baseline import (
+    TODO_JUSTIFICATION,
+    Baseline,
+    BaselineEntry,
+)
+from repro.analysis.findings import Finding
+
+
+def finding(rule="SGB002", path="src/repro/core/x.py", line=10,
+            message="inline sqrt"):
+    return Finding(rule, path, line, 0, message)
+
+
+class TestIdentity:
+    def test_line_numbers_not_part_of_identity(self):
+        base = Baseline([BaselineEntry("SGB002", "src/repro/core/x.py",
+                                       "inline sqrt")])
+        moved = finding(line=999)
+        new, suppressed, stale = base.apply([moved])
+        assert new == [] and suppressed == 1 and stale == []
+
+    def test_count_gates_added_duplicates(self):
+        base = Baseline([BaselineEntry("SGB002", "src/repro/core/x.py",
+                                       "inline sqrt", count=1)])
+        new, suppressed, _ = base.apply([finding(line=1), finding(line=2)])
+        assert suppressed == 1
+        assert [f.line for f in new] == [2]
+
+    def test_different_message_not_absorbed(self):
+        base = Baseline([BaselineEntry("SGB002", "src/repro/core/x.py",
+                                       "inline sqrt")])
+        other = finding(message="accumulation loop")
+        new, suppressed, stale = base.apply([other])
+        assert new == [other] and suppressed == 0
+        assert len(stale) == 1
+
+    def test_duplicate_entries_merge_counts(self):
+        e = ("SGB002", "src/repro/core/x.py", "inline sqrt")
+        base = Baseline([BaselineEntry(*e), BaselineEntry(*e)])
+        assert len(base.entries) == 1
+        assert len(base) == 2
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        path = str(tmp_path / "base.json")
+        base = Baseline.from_findings(
+            [finding(), finding(line=20), finding(rule="SGB006",
+                                                  message="bare raise")],
+        )
+        base.save(path)
+        loaded = Baseline.load(path)
+        assert {k: e.count for k, e in loaded.entries.items()} == \
+               {k: e.count for k, e in base.entries.items()}
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["tool"] == "sgblint" and payload["version"] == 1
+
+    def test_update_carries_over_justifications(self):
+        previous = Baseline([
+            BaselineEntry("SGB002", "src/repro/core/x.py", "inline sqrt",
+                          justification="reference metric"),
+        ])
+        updated = Baseline.from_findings(
+            [finding(), finding(rule="SGB006", message="bare raise")],
+            previous=previous,
+        )
+        by_rule = {e.rule: e for e in updated.entries.values()}
+        assert by_rule["SGB002"].justification == "reference metric"
+        assert by_rule["SGB006"].justification == TODO_JUSTIFICATION
+
+    def test_unjustified_detection(self):
+        base = Baseline([
+            BaselineEntry("SGB001", "a.py", "m1", justification="ok"),
+            BaselineEntry("SGB002", "b.py", "m2"),
+            BaselineEntry("SGB003", "c.py", "m3", justification="  "),
+        ])
+        assert {e.rule for e in base.unjustified()} == {"SGB002", "SGB003"}
+
+    def test_stale_entry_reported_once_fixed(self):
+        base = Baseline([
+            BaselineEntry("SGB002", "src/repro/core/x.py", "inline sqrt"),
+            BaselineEntry("SGB006", "src/repro/sql/y.py", "bare raise"),
+        ])
+        new, suppressed, stale = base.apply([finding()])
+        assert suppressed == 1 and new == []
+        assert [e.rule for e in stale] == ["SGB006"]

@@ -1,0 +1,184 @@
+"""CLI behavior: exit codes, formats, baseline flags, self-cleanliness."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.cli import main
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+ALL_RULES = ("SGB001", "SGB002", "SGB003", "SGB004", "SGB005", "SGB006")
+
+
+def run(argv):
+    buf = io.StringIO()
+    code = main(argv, stdout=buf)
+    return code, buf.getvalue()
+
+
+def bad_fixture(rule_id):
+    return os.path.join(FIXTURES, f"sgb{rule_id[3:]}_bad.py")
+
+
+def good_fixture(rule_id):
+    return os.path.join(FIXTURES, f"sgb{rule_id[3:]}_good.py")
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("rule_id", ALL_RULES)
+    def test_each_bad_fixture_exits_nonzero(self, rule_id):
+        code, out = run(["--no-baseline", bad_fixture(rule_id)])
+        assert code == 1
+        assert rule_id in out
+
+    @pytest.mark.parametrize("rule_id", ALL_RULES)
+    def test_each_good_fixture_exits_zero(self, rule_id):
+        code, out = run(["--no-baseline", good_fixture(rule_id)])
+        assert code == 0
+        assert "0 finding(s)" in out
+
+    def test_unknown_rule_select_is_usage_error(self):
+        code, out = run(["--select", "SGB999", good_fixture("SGB001")])
+        assert code == 2
+
+    def test_select_limits_rules(self):
+        # sgb001_bad has only SGB001 findings; selecting SGB006 sees none.
+        code, _ = run(["--no-baseline", "--select", "SGB006",
+                       bad_fixture("SGB001")])
+        assert code == 0
+
+
+class TestFormats:
+    def test_text_format_lines(self):
+        _, out = run(["--no-baseline", bad_fixture("SGB006")])
+        lines = [l for l in out.splitlines() if "SGB006" in l]
+        assert len(lines) == 2
+        # path:line:col: RULE severity: message
+        first = lines[0]
+        path, line, col, rest = first.split(":", 3)
+        assert path.endswith("sgb006_bad.py")
+        assert int(line) > 0 and int(col) >= 0
+        assert rest.strip().startswith("SGB006 error")
+
+    def test_json_schema(self):
+        code, out = run(["--format", "json", "--no-baseline",
+                         bad_fixture("SGB003")])
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["tool"] == "sgblint"
+        assert payload["version"] == 1
+        assert payload["summary"]["total"] == len(payload["findings"])
+        assert payload["summary"]["by_rule"] == {"SGB003": 4}
+        assert payload["baseline_problems"] == []
+        for f in payload["findings"]:
+            assert set(f) == {
+                "rule", "path", "line", "col", "message", "severity",
+            }
+            assert f["severity"] == "error"
+
+    def test_json_clean_run(self):
+        code, out = run(["--format", "json", "--no-baseline",
+                         good_fixture("SGB002")])
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"] == []
+        assert payload["summary"]["total"] == 0
+
+
+class TestHelpers:
+    def test_explain_prints_rule_doc(self):
+        code, out = run(["--explain", "SGB004"])
+        assert code == 0
+        assert "SGB004" in out and "with" in out
+
+    def test_explain_unknown_rule(self):
+        code, out = run(["--explain", "SGB123"])
+        assert code == 2
+
+    def test_list_rules(self):
+        code, out = run(["--list-rules"])
+        assert code == 0
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_update_then_suppress_then_strict(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        bad = bad_fixture("SGB006")
+
+        code, _ = run(["--baseline", base, bad])
+        assert code == 1  # nothing grandfathered yet
+
+        code, out = run(["--baseline", base, "--update-baseline", bad])
+        assert code == 0 and "wrote" in out
+
+        code, out = run(["--baseline", base, bad])
+        assert code == 0
+        assert "2 suppressed by baseline" in out
+
+        # CI gate: TODO justifications written by --update-baseline fail
+        # strict mode until a human replaces them.
+        code, out = run(["--baseline", base, "--strict-baseline", bad])
+        assert code == 1
+        assert "lacks a justification" in out
+
+        with open(base) as fh:
+            payload = json.load(fh)
+        for entry in payload["entries"]:
+            entry["justification"] = "deliberate fixture violation"
+        with open(base, "w") as fh:
+            json.dump(payload, fh)
+
+        code, _ = run(["--baseline", base, "--strict-baseline", bad])
+        assert code == 0
+
+    def test_strict_flags_stale_entries(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        code, _ = run(["--baseline", base, "--update-baseline",
+                       bad_fixture("SGB006")])
+        assert code == 0
+        # Lint a *clean* file against that baseline: all entries stale.
+        code, out = run(["--baseline", base, "--strict-baseline",
+                         good_fixture("SGB006")])
+        assert code == 1
+        assert "stale baseline entry" in out
+
+    def test_extra_finding_still_reported_over_baseline(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        run(["--baseline", base, "--update-baseline",
+             bad_fixture("SGB006")])
+        # The baseline covers sgb006_bad only; sgb001_bad still gates.
+        code, out = run(["--baseline", base, bad_fixture("SGB006"),
+                         bad_fixture("SGB001")])
+        assert code == 1
+        assert "SGB001" in out and "suppressed" in out
+
+
+class TestSelfClean:
+    """The acceptance gate: the tree lints clean against its baseline."""
+
+    def test_repo_lints_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run(["src", "tests", "--strict-baseline"])
+        assert code == 0, out
+
+    def test_linter_package_needs_no_baseline(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code, out = run(["--no-baseline", "src/repro/analysis"])
+        assert code == 0, out
+
+    def test_fixture_walk_exclusion(self, monkeypatch):
+        # Directory walks skip the deliberate-violation corpus...
+        monkeypatch.chdir(REPO_ROOT)
+        code, _ = run(["--no-baseline", "tests/analysis"])
+        assert code == 0
+        # ...unless explicitly included.
+        code, _ = run(["--no-baseline", "--include-fixtures",
+                       "tests/analysis"])
+        assert code == 1

@@ -1,0 +1,206 @@
+"""Per-rule true-positive / true-negative tests over the fixture corpus,
+plus pragma and module-identity behavior."""
+
+import os
+
+import pytest
+
+from repro.analysis import lint_file, lint_source
+from repro.analysis.context import module_name_for_path
+from repro.analysis.registry import all_rules, get_rule
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def rules_hit(path):
+    return {f.rule for f in lint_file(path)}
+
+
+class TestRuleRegistry:
+    def test_all_six_rules_registered(self):
+        assert [r.id for r in all_rules()] == [
+            "SGB001", "SGB002", "SGB003", "SGB004", "SGB005", "SGB006",
+        ]
+
+    def test_every_rule_has_an_explanation(self):
+        for rule in all_rules():
+            text = rule.explanation()
+            assert len(text.splitlines()) >= 3, rule.id
+
+    def test_get_rule_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_rule("SGB999")
+
+
+@pytest.mark.parametrize("rule_id,expected_bad_count", [
+    ("SGB001", 4),
+    ("SGB002", 3),
+    ("SGB003", 4),
+    ("SGB004", 3),
+    ("SGB005", 2),
+    ("SGB006", 2),
+])
+class TestFixtureCorpus:
+    def test_bad_fixture_is_flagged(self, rule_id, expected_bad_count):
+        path = fixture(f"sgb{rule_id[3:]}_bad.py")
+        findings = [f for f in lint_file(path) if f.rule == rule_id]
+        assert len(findings) == expected_bad_count
+        for f in findings:
+            assert f.line > 0
+            assert f.message
+
+    def test_bad_fixture_flags_nothing_else(self, rule_id,
+                                            expected_bad_count):
+        path = fixture(f"sgb{rule_id[3:]}_bad.py")
+        assert rules_hit(path) == {rule_id}
+
+    def test_good_fixture_is_clean(self, rule_id, expected_bad_count):
+        path = fixture(f"sgb{rule_id[3:]}_good.py")
+        assert lint_file(path) == []
+
+
+class TestRuleDetails:
+    """Spot checks on shapes the fixtures do not cover."""
+
+    def test_sgb001_out_of_scope_module_ignored(self):
+        src = "import random\nrandom.random()\n"
+        assert lint_source(src, module="repro.obs.trace") == []
+
+    def test_sgb001_numpy_default_rng_seeded_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def f(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert lint_source(src, module="repro.core.x") == []
+
+    def test_sgb001_numpy_global_rng_flagged(self):
+        src = "import numpy as np\nv = np.random.rand(3)\n"
+        findings = lint_source(src, module="repro.core.x")
+        assert [f.rule for f in findings] == ["SGB001"]
+
+    def test_sgb002_kernels_package_exempt(self):
+        src = "import math\nd = math.sqrt(2.0)\n"
+        assert lint_source(src, module="repro.kernels.python_backend") == []
+        assert lint_source(src, module="repro.geometry.hull") == []
+
+    def test_sgb002_from_import_alias_caught(self):
+        src = (
+            "from math import sqrt as root\n"
+            "def d(a, b):\n"
+            "    return root((a - b) ** 2)\n"
+        )
+        findings = lint_source(src, module="repro.streaming.x")
+        assert [f.rule for f in findings] == ["SGB002"]
+
+    def test_sgb003_applies_everywhere(self):
+        findings = lint_source(
+            "def f(bag):\n    bag.incr('Bad-Name')\n",
+            module="tests.obs.test_whatever",
+        )
+        assert [f.rule for f in findings] == ["SGB003"]
+
+    def test_sgb003_dynamic_names_not_checked(self):
+        src = "def f(bag, n):\n    bag.incr(n)\n"
+        assert lint_source(src, module="repro.core.x") == []
+
+    def test_sgb004_super_enter_allowed(self):
+        src = (
+            "class T:\n"
+            "    def __enter__(self):\n"
+            "        return super().__enter__()\n"
+        )
+        assert lint_source(src, module="repro.obs.x") == []
+
+    def test_sgb004_with_in_other_function_still_flagged(self):
+        # The assignment and the `with` live in different scopes, so the
+        # assigned span is never entered where it was created.
+        src = (
+            "def a(tracer):\n"
+            "    sp = tracer.span('phase')\n"
+            "    return None\n"
+            "def b(sp):\n"
+            "    with sp:\n"
+            "        pass\n"
+        )
+        findings = lint_source(src, module="repro.core.x")
+        assert [f.rule for f in findings] == ["SGB004"]
+
+    def test_sgb005_inactive_without_pool_import(self):
+        src = "def f(pool, tasks):\n    pool.submit(lambda t: t, tasks)\n"
+        assert lint_source(src, module="repro.core.x") == []
+
+    def test_sgb006_out_of_scope_module_ignored(self):
+        src = "def f():\n    raise ValueError('fine here')\n"
+        assert lint_source(src, module="repro.clustering.kmeans") == []
+
+    def test_sgb006_bare_name_reraise_flagged(self):
+        src = (
+            "def f():\n"
+            "    raise RuntimeError\n"
+        )
+        findings = lint_source(src, module="repro.sql.parser")
+        assert [f.rule for f in findings] == ["SGB006"]
+
+    def test_syntax_error_becomes_sgb000(self):
+        findings = lint_source("def broken(:\n", path="x.py")
+        assert [f.rule for f in findings] == ["SGB000"]
+        assert "does not parse" in findings[0].message
+
+
+class TestPragmas:
+    SRC = "def f():\n    raise ValueError('x')\n"
+
+    def test_same_line_disable(self):
+        src = "def f():\n    raise ValueError('x')  # sgblint: disable=SGB006\n"
+        assert lint_source(src, module="repro.engine.x") == []
+
+    def test_disable_all_rules_on_line(self):
+        src = "def f():\n    raise ValueError('x')  # sgblint: disable\n"
+        assert lint_source(src, module="repro.engine.x") == []
+
+    def test_disable_next_line(self):
+        src = (
+            "def f():\n"
+            "    # sgblint: disable-next-line=SGB006 -- reason\n"
+            "    raise ValueError('x')\n"
+        )
+        assert lint_source(src, module="repro.engine.x") == []
+
+    def test_noqa_alias(self):
+        src = "def f():\n    raise ValueError('x')  # noqa: SGB006\n"
+        assert lint_source(src, module="repro.engine.x") == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "def f():\n    raise ValueError('x')  # sgblint: disable=SGB001\n"
+        findings = lint_source(src, module="repro.engine.x")
+        assert [f.rule for f in findings] == ["SGB006"]
+
+    def test_skip_file(self):
+        src = "# sgblint: skip-file\n" + self.SRC
+        assert lint_source(src, module="repro.engine.x") == []
+
+    def test_module_pragma_overrides_path(self):
+        src = "# sgblint: module=repro.engine.fake\n" + self.SRC
+        findings = lint_source(src, path="tests/somewhere/f.py")
+        assert [f.rule for f in findings] == ["SGB006"]
+
+    def test_explicit_module_beats_pragma(self):
+        src = "# sgblint: module=repro.engine.fake\n" + self.SRC
+        assert lint_source(src, module="repro.obs.x") == []
+
+
+class TestModuleIdentity:
+    @pytest.mark.parametrize("path,expected", [
+        ("src/repro/core/sgb_all.py", "repro.core.sgb_all"),
+        ("src/repro/kernels/__init__.py", "repro.kernels"),
+        ("tests/analysis/test_rules.py", "tests.analysis.test_rules"),
+        ("/abs/prefix/src/repro/sql/parser.py", "repro.sql.parser"),
+        ("scratch/notes.py", "scratch.notes"),
+    ])
+    def test_module_name_for_path(self, path, expected):
+        assert module_name_for_path(path) == expected

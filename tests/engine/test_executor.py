@@ -15,6 +15,7 @@ from repro.engine.executor.relational import (
 from repro.engine.executor.scans import DualScan, SeqScan, ValuesScan
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
+from repro.errors import PlanningError
 from repro.sql.ast_nodes import AggCall, BindContext, BinaryOp, ColumnRef, Literal
 
 
@@ -107,7 +108,9 @@ class TestJoins:
         assert plan.rows() == [(1, 5, 1, 10)]
 
     def test_hash_join_requires_keys(self):
-        with pytest.raises(ValueError):
+        # SGB006: plan-construction invariants raise PlanningError (a
+        # ReproError), not bare ValueError.
+        with pytest.raises(PlanningError):
             HashJoin(values([], "a"), values([], "b"), [], [], None,
                      ctx_factory)
 

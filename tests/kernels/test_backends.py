@@ -166,7 +166,7 @@ class TestPointStoreParity:
     def test_query_ids_parity(self):
         pts = _random_points(300, seed=6)
         ids = list(range(0, 300, 3))
-        for backend, store in self._stores():
+        for _backend, store in self._stores():
             for p in pts:
                 store.append(p)
             got = store.query_ids(ids, (5.0, 5.0), 2.0, L2)

@@ -72,7 +72,7 @@ class TestSpanParenting:
             sp.__exit__(None, None, None)  # never entered
         with sp:
             with pytest.raises(RuntimeError):
-                sp.__enter__()
+                sp.__enter__()  # sgblint: disable=SGB004 -- re-entrancy guard test
 
     def test_timestamps_monotone_and_nested(self):
         t = Tracer()
@@ -97,7 +97,7 @@ class TestRingBuffer:
 
     def test_clear_resets(self):
         t = Tracer(capacity=2)
-        for i in range(4):
+        for _ in range(4):
             with t.span("x"):
                 pass
         t.clear()

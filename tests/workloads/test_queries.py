@@ -63,7 +63,7 @@ class TestQuerySemantics:
 
     def test_sgb1_group_members_share_similar_attributes(self, db):
         res = db.execute(Q.sgb1(eps=5000, metric="linf"))
-        for max_ab, min_tp, max_tp, avg_ab, members in res:
+        for _max_ab, min_tp, max_tp, _avg_ab, _members in res:
             # L-inf eps bound: spread of tp within a group <= 2*eps is
             # implied for ANY; for ALL it is <= eps
             assert max_tp - min_tp <= 5000 + 1e-6

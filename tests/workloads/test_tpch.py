@@ -56,7 +56,7 @@ class TestGenerator:
             assert isinstance(odate, dt.date)
             assert total > 0
         ps_pairs = {(pk, sk) for pk, sk, _, _ in gen.tables["partsupp"]}
-        for ok, pk, sk, qty, price, disc, ship, receipt in (
+        for ok, pk, sk, _qty, _price, disc, ship, receipt in (
                 gen.tables["lineitem"]):
             assert ok in orderkeys
             assert pk in partkeys
