@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Service throughput/latency under concurrent wire-protocol clients.
+
+Two sweeps against one in-process :class:`~repro.service.server.ServerThread`:
+
+* **load** — each (query kind x client count) cell runs ``requests``
+  statements per client from its own socket and thread; the client-side
+  end-to-end latencies land in a
+  :class:`~repro.obs.hist.LatencyHistogram`, reported as p50/p95/p99
+  with aggregate throughput.  The engine's statement lock serializes
+  execution, so throughput is expected to stay roughly flat while tail
+  latency grows with the client count — the interesting outcome is that
+  nothing is dropped or shed at these depths.
+* **validation** — a 10-client mixed workload where every response is
+  compared against ``Database.query`` run directly on the same data;
+  the summary records zero dropped connections and zero mismatches.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+        [--n N] [--clients 1,4,8] [--requests R]
+        [--out BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import bench_stamp  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.obs.hist import LatencyHistogram  # noqa: E402
+from repro.service import ServerThread, ServiceClient, ServiceConfig  # noqa: E402
+
+QUERY_KINDS = {
+    "sgb_any": (
+        "SELECT count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1"
+    ),
+    "sgb_any_partitioned": (
+        "SELECT city, count(*) FROM pts "
+        "GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY city"
+    ),
+    "plain_agg": "SELECT city, count(*) FROM pts GROUP BY city ORDER BY city",
+}
+
+
+def make_db(n: int) -> Database:
+    """``n`` deterministic points in 8 well-separated city clusters."""
+    db = Database()
+    db.execute("CREATE TABLE pts (city int, x float, y float)")
+    rows = []
+    for i in range(n):
+        city = i % 8
+        rows.append((
+            city,
+            city * 40.0 + (i % 23) * 0.35,
+            ((i * 7) % 19) * 0.35,
+        ))
+    db.insert("pts", rows)
+    return db
+
+
+def load_cell(port: int, sql: str, clients: int, requests: int):
+    """One (query kind x client count) cell; returns (histogram, stats)."""
+    hist = LatencyHistogram()
+    hist_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker() -> None:
+        try:
+            with ServiceClient(port=port) as c:
+                barrier.wait(timeout=30.0)
+                for _ in range(requests):
+                    t0 = time.perf_counter()
+                    c.query(sql, timeout_s=120.0)
+                    elapsed = time.perf_counter() - t0
+                    with hist_lock:
+                        hist.observe(elapsed)
+        except Exception as exc:  # noqa: BLE001 - reported in the payload
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=30.0)  # start the clock once everyone connected
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return hist, wall, errors
+
+
+def load_sweep(port: int, client_counts, requests: int):
+    rows = []
+    for kind, sql in QUERY_KINDS.items():
+        for clients in client_counts:
+            hist, wall, errors = load_cell(port, sql, clients, requests)
+            total = clients * requests
+            row = {
+                "query_kind": kind,
+                "clients": clients,
+                "requests_per_client": requests,
+                "total_requests": total,
+                "completed": hist.count,
+                "errors": errors,
+                "wall_time_s": wall,
+                "throughput_rps": hist.count / wall if wall > 0 else 0.0,
+                "latency": hist.percentiles(),
+            }
+            rows.append(row)
+            print(
+                f"[load {kind:>19} c={clients}] {hist.count}/{total} ok "
+                f"{row['throughput_rps']:7.1f} req/s  "
+                f"p50 {row['latency']['p50_s'] * 1e3:7.1f} ms  "
+                f"p99 {row['latency']['p99_s'] * 1e3:7.1f} ms"
+            )
+    return rows
+
+
+def validate_mixed_load(server: ServerThread, clients: int = 10,
+                        rounds: int = 3):
+    """Every wire response must equal the direct in-process result."""
+    queries = list(QUERY_KINDS.values())
+    expected = {sql: server.db.query(sql).rows for sql in queries}
+    connected = []
+    mismatches = []
+    dropped = []
+    barrier = threading.Barrier(clients)
+
+    def worker(worker_id: int) -> None:
+        try:
+            with ServiceClient(port=server.port) as c:
+                connected.append(worker_id)
+                barrier.wait(timeout=30.0)
+                for r in range(rounds):
+                    sql = queries[(worker_id + r) % len(queries)]
+                    if c.query(sql, timeout_s=120.0).rows != expected[sql]:
+                        mismatches.append((worker_id, sql))
+        except Exception as exc:  # noqa: BLE001 - reported in the payload
+            dropped.append(f"client {worker_id}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report = {
+        "clients": clients,
+        "rounds": rounds,
+        "connected": len(connected),
+        "dropped_connections": len(dropped),
+        "drop_details": dropped,
+        "mismatches": len(mismatches),
+    }
+    print(
+        f"[validate] {report['connected']}/{clients} connected, "
+        f"{report['dropped_connections']} dropped, "
+        f"{report['mismatches']} mismatches"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="table rows (default 2000; 300 with --quick)")
+    parser.add_argument("--clients", type=str, default=None,
+                        help="comma-separated client counts "
+                             "(default 1,4,8; 1,4 with --quick)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="statements per client per cell "
+                             "(default 10; 3 with --quick)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: BENCH_service.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (300 if args.quick else 2000)
+    clients_arg = args.clients or ("1,4" if args.quick else "1,4,8")
+    client_counts = [int(c) for c in clients_arg.split(",")]
+    requests = args.requests or (3 if args.quick else 10)
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    )
+
+    config = ServiceConfig(
+        port=0, metrics_port=0,
+        workers=2, queue_depth=max(64, 2 * max(client_counts)),
+        max_connections=64, default_timeout_s=None,
+    )
+    with ServerThread(db=make_db(n), config=config) as server:
+        load_rows = load_sweep(server.port, client_counts, requests)
+        validation = validate_mixed_load(server)
+
+    total_errors = sum(len(r["errors"]) for r in load_rows)
+    peak = max(load_rows, key=lambda r: r["throughput_rps"])
+    payload = {
+        "benchmark": "service-concurrent-load",
+        "stamp": bench_stamp(),
+        "config": {
+            "n": n,
+            "clients": client_counts,
+            "requests_per_client": requests,
+            "workers": config.workers,
+            "queue_depth": config.queue_depth,
+            "query_kinds": QUERY_KINDS,
+            "quick": args.quick,
+        },
+        "load_results": load_rows,
+        "validation": validation,
+        "summary": {
+            "peak_throughput_rps": peak["throughput_rps"],
+            "peak_cell": {
+                "query_kind": peak["query_kind"],
+                "clients": peak["clients"],
+            },
+            "load_errors": total_errors,
+            "dropped_connections": validation["dropped_connections"],
+            "result_mismatches": validation["mismatches"],
+        },
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if total_errors or validation["dropped_connections"] \
+            or validation["mismatches"]:
+        print("ERROR: load errors, drops, or mismatches; see payload",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import Iterator, Set, Tuple
 
 from repro.analysis.astutil import dotted_name, from_imports, import_aliases
 from repro.analysis.context import FileContext
@@ -13,6 +13,17 @@ from repro.analysis.registry import Rule, register
 #: Modules whose grouping decisions must replay bit-identically
 #: (serial-vs-parallel parity, JOIN-ANY tiebreak replays, backend parity).
 SCOPE = ("repro.core", "repro.streaming", "repro.kernels")
+
+#: The wall-clock sub-check covers *all* of ``repro`` (any module could
+#: smuggle ``time.time()`` into something a test replays), except
+#: packages whose job **is** wall-anchored time, where per-line pragmas
+#: would be pure noise: observability (trace epochs), the bench harness
+#: (run stamps), and the query service (deadline bookkeeping and
+#: manufactured span timestamps).  ``time.monotonic`` /
+#: ``time.perf_counter`` are sanctioned everywhere — only the functions
+#: in ``WALLCLOCK_TIME_FNS`` / ``WALLCLOCK_DT_METHODS`` are flagged.
+WALLCLOCK_SCOPE = ("repro",)
+WALLCLOCK_EXEMPT = ("repro.obs", "repro.bench", "repro.service")
 
 #: ``random`` module functions that draw from the *global* (unseeded
 #: process-wide) generator.
@@ -56,6 +67,13 @@ class DeterminismRule(Rule):
       set order follows the hash seed, so feeding it into group
       assignment breaks replay; sort (``sorted(...)``) first.
 
+    The wall-clock sub-check runs wider: everywhere under ``repro``
+    except ``WALLCLOCK_EXEMPT`` (observability, bench, service), whose
+    jobs require wall-anchored timestamps — so ``repro.service`` uses
+    ``time.monotonic`` deadlines and ``time.time`` span anchors without
+    per-line pragmas, while a stray ``time.time()`` in, say, the planner
+    still gets flagged.
+
     Wrong::
 
         order = list(candidate_ids & alive)   # hash order
@@ -71,7 +89,12 @@ class DeterminismRule(Rule):
     title = "unseeded randomness, wall-clock reads, or set-order iteration"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if not ctx.in_package(*SCOPE):
+        rng_scope = ctx.in_package(*SCOPE)
+        wallclock_scope = (
+            ctx.in_package(*WALLCLOCK_SCOPE)
+            and not ctx.in_package(*WALLCLOCK_EXEMPT)
+        )
+        if not rng_scope and not wallclock_scope:
             return
         random_aliases = import_aliases(ctx.tree, "random")
         numpy_aliases = import_aliases(ctx.tree, "numpy")
@@ -92,15 +115,20 @@ class DeterminismRule(Rule):
 
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):
-                yield from self._check_call(
+                for finding, is_wallclock in self._check_call(
                     ctx, node, random_aliases, numpy_aliases,
                     time_aliases, dt_aliases, global_fn_locals,
                     time_fn_locals, dt_class_locals,
-                )
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                ):
+                    if is_wallclock and wallclock_scope:
+                        yield finding
+                    elif not is_wallclock and rng_scope:
+                        yield finding
+            elif rng_scope and isinstance(node, (ast.For, ast.AsyncFor)):
                 yield from self._check_iteration(ctx, node.iter)
-            elif isinstance(node, (ast.ListComp, ast.SetComp,
-                                   ast.DictComp, ast.GeneratorExp)):
+            elif rng_scope and isinstance(node, (ast.ListComp, ast.SetComp,
+                                                 ast.DictComp,
+                                                 ast.GeneratorExp)):
                 for gen in node.generators:
                     yield from self._check_iteration(ctx, gen.iter)
 
@@ -109,7 +137,11 @@ class DeterminismRule(Rule):
                     random_aliases: Set[str], numpy_aliases: Set[str],
                     time_aliases: Set[str], dt_aliases: Set[str],
                     global_fn_locals: Set[str], time_fn_locals: Set[str],
-                    dt_class_locals: Set[str]) -> Iterator[Finding]:
+                    dt_class_locals: Set[str]
+                    ) -> Iterator[Tuple[Finding, bool]]:
+        """Yield ``(finding, is_wallclock)`` — the caller applies the
+        sub-check's scope (RNG findings and wall-clock findings have
+        different ones)."""
         func = node.func
         if isinstance(func, ast.Name):
             if func.id in global_fn_locals:
@@ -117,13 +149,13 @@ class DeterminismRule(Rule):
                     ctx, node,
                     f"'{func.id}()' draws from the global random "
                     f"generator; use a seeded random.Random instance",
-                )
+                ), False
             elif func.id in time_fn_locals:
                 yield self.finding(
                     ctx, node,
                     f"wall-clock read '{func.id}()'; use "
                     f"time.perf_counter() for durations",
-                )
+                ), True
             return
         if not isinstance(func, ast.Attribute):
             return
@@ -135,13 +167,13 @@ class DeterminismRule(Rule):
                     ctx, node,
                     f"'{base}.{attr}()' draws from the global random "
                     f"generator; use a seeded random.Random instance",
-                )
+                ), False
             elif attr == "Random" and not node.args and not node.keywords:
                 yield self.finding(
                     ctx, node,
                     "unseeded random.Random(); pass an explicit seed "
                     "(see repro.core.parallel.partition_seed)",
-                )
+                ), False
         elif base is not None and (
             base in {f"{np}.random" for np in numpy_aliases}
             or (base.split(".", 1)[0] in numpy_aliases
@@ -153,13 +185,13 @@ class DeterminismRule(Rule):
                 ctx, node,
                 f"'{base}.{attr}()' uses numpy's global/legacy RNG; "
                 f"use numpy.random.default_rng(seed)",
-            )
+            ), False
         elif base in time_aliases and attr in WALLCLOCK_TIME_FNS:
             yield self.finding(
                 ctx, node,
                 f"wall-clock read '{base}.{attr}()'; use "
                 f"time.perf_counter() for durations",
-            )
+            ), True
         elif attr in WALLCLOCK_DT_METHODS and base is not None:
             root, _, rest = base.partition(".")
             is_dt = (
@@ -170,7 +202,7 @@ class DeterminismRule(Rule):
                     ctx, node,
                     f"wall-clock read '{base}.{attr}()'; grouping code "
                     f"must not depend on the current date/time",
-                )
+                ), True
 
     # -- set-order iteration ----------------------------------------------
     def _check_iteration(self, ctx: FileContext,

@@ -2,6 +2,7 @@
 
 from repro.core.api import sgb_all, sgb_any, sgb_stream
 from repro.core.around import sgb_around_nd
+from repro.core.cancel import CancelToken
 from repro.core.distance import L1, L2, LINF, Metric, MinkowskiMetric, resolve_metric
 from repro.core.predicate import SimilarityPredicate
 from repro.core.result import ELIMINATED, GroupingResult
@@ -18,6 +19,7 @@ __all__ = [
     "sgb_around_nd",
     "SGBAllOperator",
     "SGBAnyOperator",
+    "CancelToken",
     "GroupingResult",
     "ELIMINATED",
     "SimilarityPredicate",

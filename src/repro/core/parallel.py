@@ -148,6 +148,7 @@ def run_partitions(
     backend: str,
     want_metrics: bool = False,
     trace_context: Optional[TraceContext] = None,
+    cancel=None,
 ) -> List[Tuple[List[int], ObsPayload]]:
     """Group every ``(mode, points, operator kwargs)`` task, possibly in
     parallel, and return ``(labels, obs payload)`` per task in input order.
@@ -156,6 +157,13 @@ def run_partitions(
     no pool, so the serial executor and the parallel one cannot drift; in
     particular a propagated ``trace_context`` produces the identical span
     tree either way (worker spans parent onto ``trace_context[1]``).
+
+    ``cancel`` is an optional :class:`~repro.core.cancel.CancelToken`.
+    The token itself never crosses the process boundary — dispatch checks
+    it between partitions (serial path) or between arriving results (pool
+    path): a tripped token cancels every not-yet-started future, lets
+    in-flight partitions run to completion (a worker cannot be
+    interrupted mid-group), and raises the token's typed error.
     """
     payload: List[PartitionTask] = [
         (i, mode, backend, points, op_kwargs, want_metrics, trace_context)
@@ -164,14 +172,27 @@ def run_partitions(
     results: List[Optional[Tuple[List[int], ObsPayload]]] = [None] * len(payload)
     if workers <= 1 or len(payload) <= 1:
         for task in payload:
+            if cancel is not None:
+                cancel.check()
             index, labels, obs = run_partition(task)
             results[index] = (labels, obs)
     else:
         from concurrent.futures import ProcessPoolExecutor
 
+        if cancel is not None:
+            cancel.check()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, labels, obs in pool.map(run_partition, payload):
-                results[index] = (labels, obs)
+            futures = [pool.submit(run_partition, task) for task in payload]
+            try:
+                for future in futures:
+                    if cancel is not None:
+                        cancel.check()
+                    index, labels, obs = future.result()
+                    results[index] = (labels, obs)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
     return results  # type: ignore[return-value]
 
 

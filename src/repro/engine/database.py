@@ -15,9 +15,12 @@ StatementResult(status='INSERT 3')
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.cancel import CancelToken
 from repro.engine.catalog import Catalog
+from repro.engine.executor.base import attach_cancel
 from repro.engine.executor.sgb import SGBConfig
 from repro.engine.schema import Schema
 from repro.engine.table import Table
@@ -116,6 +119,19 @@ class Database:
             parallel=parallel,
         )
         self._stream_views: Dict[str, Any] = {}
+        #: Statement lock: one statement executes at a time, so the
+        #: catalog, table storage, and stream-view state see a single
+        #: writer.  Re-entrant because nested execution helpers
+        #: (``analyze`` → plan run) share it.  Concurrent callers — e.g.
+        #: the :mod:`repro.service` worker pool — interleave *between*
+        #: statements; partition parallelism inside one statement still
+        #: fans out to worker processes.
+        self._lock = threading.RLock()
+        #: Guards the cumulative metric bag and query counter only, so
+        #: ``metrics_snapshot()`` never has to wait behind a long query
+        #: holding the statement lock.  Lock order: ``_lock`` may be held
+        #: when taking ``_metrics_lock``, never the reverse.
+        self._metrics_lock = threading.Lock()
         #: Cumulative engine metrics (counters / timings / histograms)
         #: collected from every instrumented execution — traced SELECTs,
         #: ``analyze()`` runs, and streaming micro-batch flushes.
@@ -177,17 +193,19 @@ class Database:
         """
         from repro.obs.export import prometheus_text
 
-        extra: Dict[str, float] = {"queries": float(self._queries)}
-        if self.tracer is not None:
-            extra["trace_spans_retained"] = float(len(self.tracer))
-            extra["trace_spans_dropped"] = float(self.tracer.dropped)
-        return prometheus_text(
-            self._metrics,
-            streams={
-                name: view.stats for name, view in self._stream_views.items()
-            },
-            extra_counters=extra,
-        )
+        with self._metrics_lock:
+            extra: Dict[str, float] = {"queries": float(self._queries)}
+            if self.tracer is not None:
+                extra["trace_spans_retained"] = float(len(self.tracer))
+                extra["trace_spans_dropped"] = float(self.tracer.dropped)
+            return prometheus_text(
+                self._metrics,
+                streams={
+                    name: view.stats
+                    for name, view in self._stream_views.items()
+                },
+                extra_counters=extra,
+            )
 
     # ------------------------------------------------------------------
     # python-level API
@@ -195,10 +213,12 @@ class Database:
     def create_table(
         self, name: str, columns: Sequence[Tuple[str, str]]
     ) -> Table:
-        return self.catalog.create_table(name, columns)
+        with self._lock:
+            return self.catalog.create_table(name, columns)
 
     def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
-        return self.catalog.get(table).insert_many(rows)
+        with self._lock:
+            return self.catalog.get(table).insert_many(rows)
 
     def table(self, name: str) -> Table:
         return self.catalog.get(name)
@@ -228,21 +248,22 @@ class Database:
         from repro.streaming.view import StreamingGroupView
 
         key = name.lower()
-        if key in self._stream_views:
-            raise CatalogError(f"stream view {name!r} already exists")
-        view = StreamingGroupView(
-            key,
-            self.catalog.get(table),
-            columns,
-            mode,
-            eps=eps,
-            metric=metric,
-            batch_size=batch_size,
-            metrics=self._metrics,
-            tracer=self.sgb_config.trace,
-            **engine_options,
-        )
-        self._stream_views[key] = view
+        with self._lock:
+            if key in self._stream_views:
+                raise CatalogError(f"stream view {name!r} already exists")
+            view = StreamingGroupView(
+                key,
+                self.catalog.get(table),
+                columns,
+                mode,
+                eps=eps,
+                metric=metric,
+                batch_size=batch_size,
+                metrics=self._metrics,
+                tracer=self.sgb_config.trace,
+                **engine_options,
+            )
+            self._stream_views[key] = view
         return view
 
     def stream_view(self, name: str):
@@ -250,6 +271,17 @@ class Database:
             return self._stream_views[name.lower()]
         except KeyError:
             raise CatalogError(f"stream view {name!r} does not exist") from None
+
+    def stream_snapshot(self, name: str):
+        """A consistent snapshot of one stream view's grouping.
+
+        Taken under the statement lock so concurrent INSERTs (which feed
+        the view through the table's insert listeners) cannot interleave
+        with the snapshot — this is the read path the query service's
+        ``stream`` op uses.
+        """
+        with self._lock:
+            return self.stream_view(name).snapshot()
 
     def stream_view_names(self) -> List[str]:
         return sorted(self._stream_views)
@@ -271,23 +303,50 @@ class Database:
     # ------------------------------------------------------------------
     # SQL API
     # ------------------------------------------------------------------
-    def execute(self, sql: str):
+    def execute(self, sql: str, *, cancel: Optional[CancelToken] = None):
         """Execute one or more ``;``-separated statements.
 
         Returns the result of the *last* statement: a :class:`QueryResult`
         for SELECT, a :class:`StatementResult` otherwise.
+
+        Safe under concurrent callers: statements from different threads
+        serialize on the database's statement lock (results are fully
+        materialized before the lock is released, so nothing lazy escapes
+        it).  ``cancel`` is an optional
+        :class:`~repro.core.cancel.CancelToken`: it is re-checked before
+        each statement, while *waiting* for the statement lock, and at
+        every plan-node iteration boundary during SELECT execution, so a
+        deadline or client cancel surfaces as a typed error even when the
+        query is queued behind a slow writer.
         """
         result: Any = None
         for stmt in parse(sql):
-            result = self._execute_statement(stmt)
+            if cancel is not None:
+                cancel.check()
+            self._acquire_statement_lock(cancel)
+            try:
+                result = self._execute_statement(stmt, cancel)
+            finally:
+                self._lock.release()
         return result
 
-    def query(self, sql: str) -> QueryResult:
+    def query(self, sql: str, *,
+              cancel: Optional[CancelToken] = None) -> QueryResult:
         """Execute a single SELECT and return its result."""
-        result = self.execute(sql)
+        result = self.execute(sql, cancel=cancel)
         if not isinstance(result, QueryResult):
             raise PlanningError("query() expects a SELECT statement")
         return result
+
+    def _acquire_statement_lock(self,
+                                cancel: Optional[CancelToken]) -> None:
+        """Take the statement lock, polling the cancel token while blocked
+        so a queued query can still time out behind a slow one."""
+        if cancel is None:
+            self._lock.acquire()
+            return
+        while not self._lock.acquire(timeout=0.05):
+            cancel.check()
 
     def explain(self, sql: str) -> str:
         """Render the physical plan of a SELECT (like EXPLAIN)."""
@@ -324,23 +383,27 @@ class Database:
         stmts = parse(sql)
         if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
             raise PlanningError("explain_analyze() expects a single SELECT")
-        plan = self._planner().plan_query(stmts[0])
-        node_metrics = attach(plan, tracer=self.sgb_config.trace)
-        try:
-            rows = list(plan)
-            text = render_analyze(plan)
-            metrics = plan_metrics(plan)
-        finally:
-            for nm in node_metrics:
-                self._metrics.merge(nm.bag)
-            detach(plan)
+        with self._lock:
+            plan = self._planner().plan_query(stmts[0])
+            node_metrics = attach(plan, tracer=self.sgb_config.trace)
+            try:
+                rows = list(plan)
+                text = render_analyze(plan)
+                metrics = plan_metrics(plan)
+            finally:
+                with self._metrics_lock:
+                    for nm in node_metrics:
+                        self._metrics.merge(nm.bag)
+                detach(plan)
         return AnalyzeResult(plan.schema.names(), rows, text, metrics)
 
     # ------------------------------------------------------------------
     def _planner(self) -> Planner:
         return Planner(self.catalog, self.sgb_config)
 
-    def _run_select_plan(self, plan) -> QueryResult:
+    def _run_select_plan(
+        self, plan, cancel: Optional[CancelToken] = None
+    ) -> QueryResult:
         """Run a planned SELECT, instrumented when tracing is enabled.
 
         With tracing off this is the plain (zero-overhead) path.  With it
@@ -348,7 +411,10 @@ class Database:
         plan node is attached with both a metric bag and the tracer, and
         the node bags fold into the database's cumulative metrics.
         """
-        self._queries += 1
+        with self._metrics_lock:
+            self._queries += 1
+        if cancel is not None:
+            attach_cancel(plan, cancel)
         tracer = self.sgb_config.trace
         if tracer is None:
             return QueryResult(plan.schema.names(), plan.rows())
@@ -360,15 +426,17 @@ class Database:
                 rows = list(plan)
                 sp.set(rows=len(rows))
         finally:
-            for nm in node_metrics:
-                self._metrics.merge(nm.bag)
+            with self._metrics_lock:
+                for nm in node_metrics:
+                    self._metrics.merge(nm.bag)
             detach(plan)
         return QueryResult(plan.schema.names(), rows)
 
-    def _execute_statement(self, stmt: Any):
+    def _execute_statement(self, stmt: Any,
+                           cancel: Optional[CancelToken] = None):
         if isinstance(stmt, (ast.Select, ast.Union)):
             plan = self._planner().plan_query(stmt)
-            return self._run_select_plan(plan)
+            return self._run_select_plan(plan, cancel)
         if isinstance(stmt, ast.CreateTable):
             self.catalog.create_table(
                 stmt.name,

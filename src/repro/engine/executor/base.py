@@ -19,8 +19,24 @@ from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
 from repro.engine.schema import Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.cancel import CancelToken
     from repro.obs.explain import NodeMetrics
     from repro.obs.trace import Tracer
+
+
+def _cancel_checked(it: Iterator[tuple],
+                    token: "CancelToken") -> Iterator[tuple]:
+    """Re-check the cancel token before every row crosses this node edge.
+
+    This is the operator-iteration-boundary check: a spooling parent
+    (e.g. the SGB aggregate's §8.2 tuple store) consumes its child row by
+    row, so a timeout or client cancel interrupts the spool long before
+    the parent yields anything.
+    """
+    check = token.check
+    for row in it:
+        check()
+        yield row
 
 
 class PhysicalOperator:
@@ -38,15 +54,26 @@ class PhysicalOperator:
     #: forming the plan-node layer of the query trace.
     _tracer: "Optional[Tracer]" = None
 
+    #: Cooperative-cancellation slot filled by :func:`attach_cancel`; when
+    #: set, every row produced by this node re-checks the token, so
+    #: deadline expiry / client cancellation surface as typed errors at
+    #: the next iteration boundary anywhere in the tree.
+    _cancel: "Optional[CancelToken]" = None
+
     def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
 
     def __iter__(self) -> Iterator[tuple]:
         obs = self._obs
         tracer = self._tracer
-        if obs is None and tracer is None:
+        cancel = self._cancel
+        if obs is None and tracer is None and cancel is None:
             return iter(self._execute())
         it: Iterator[tuple] = self._execute()
+        if cancel is not None:
+            # Innermost wrapper: the typed error unwinds through the
+            # metrics/span recorders so their close paths still run.
+            it = _cancel_checked(it, cancel)
         if obs is not None:
             it = obs.record(it)
         if tracer is not None:
@@ -73,3 +100,16 @@ class PhysicalOperator:
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
+
+
+def attach_cancel(plan: PhysicalOperator,
+                  token: "Optional[CancelToken]") -> None:
+    """Install (or clear, with ``None``) a cancel token on a whole plan.
+
+    Every node gets the same token, so the check fires at whichever
+    iteration boundary is active when the token trips — including deep
+    inside a blocking parent's input spool.
+    """
+    plan._cancel = token
+    for child in plan.children():
+        attach_cancel(child, token)

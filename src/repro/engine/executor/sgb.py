@@ -210,6 +210,7 @@ class SGBAggregate(PhysicalOperator):
             backend=kernels.active_backend(),
             want_metrics=bag is not None,
             trace_context=tracer.context() if tracer is not None else None,
+            cancel=self._cancel,
         )
         label_lists: List[List[int]] = []
         for labels, obs_payload in results:
@@ -232,6 +233,10 @@ class SGBAggregate(PhysicalOperator):
                 )
         specs = self._specs
         for i, pkey in enumerate(partition_order):
+            if self._cancel is not None:
+                # Partition boundary: grouping one partition is the
+                # longest stretch with no iteration boundary to check at.
+                self._cancel.check()
             points, spool = partitions[pkey]
             if label_lists is not None:
                 labels = label_lists[i]

@@ -42,6 +42,17 @@ def _coalesce(*args: Any) -> Any:
     return None
 
 
+#: Upper bound on one ``sleep()`` evaluation, seconds.
+SLEEP_CAP_S = 5.0
+
+
+def _sleep(seconds: float) -> float:
+    import time
+
+    time.sleep(min(max(float(seconds), 0.0), SLEEP_CAP_S))
+    return float(seconds)
+
+
 _FUNCTIONS: Dict[Tuple[str, Optional[int]], Callable[..., Any]] = {
     ("abs", 1): _null_prop(abs),
     ("sqrt", 1): _null_prop(math.sqrt),
@@ -74,6 +85,12 @@ _FUNCTIONS: Dict[Tuple[str, Optional[int]], Callable[..., Any]] = {
     ),
     ("greatest", None): _null_prop(max),
     ("least", None): _null_prop(min),
+    # Deliberately slow scalar: sleeps per evaluation (per input row) and
+    # returns its argument.  Exists so deadline / cancellation behaviour
+    # is testable and benchable from plain SQL — each row is an operator-
+    # iteration boundary, so a cancel token trips within one row's sleep.
+    # Capped so a typo cannot wedge a worker for minutes.
+    ("sleep", 1): _null_prop(_sleep),
 }
 
 

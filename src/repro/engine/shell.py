@@ -5,10 +5,18 @@ A small psql-like REPL so the SGB dialect can be explored interactively:
 * statements end with ``;`` and may span lines;
 * meta-commands: ``\\d`` (list tables), ``\\d name`` (describe one),
   ``\\timing`` (toggle), ``\\e <sql>`` (EXPLAIN), ``\\load table path.csv``,
-  ``\\tpch [sf]`` (load the TPC-H-like dataset), ``\\q`` (quit).
+  ``\\tpch [sf]`` (load the TPC-H-like dataset), ``\\q`` (quit);
+* ``\\connect [host] <port>`` points the shell at a running
+  ``repro.service`` server — every later statement travels the wire
+  through a :class:`~repro.service.client.ServiceClient` instead of the
+  embedded database, and ``\\disconnect`` returns to it.
 
 The core is :class:`Shell`, which processes one line at a time and returns
 printable output — that keeps the REPL fully scriptable and testable.
+
+Values render through :func:`repro.service.wire.render_value` — the same
+formatter the service client CLI uses — so a result looks identical
+whether it was computed in-process or fetched over the wire.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from typing import List, Optional
 
 from repro.engine.database import Database, QueryResult, StatementResult
 from repro.errors import ReproError
+from repro.service.wire import render_value as _render
 
 PROMPT = "sgb> "
 CONTINUATION = "...> "
@@ -47,16 +56,6 @@ def format_table(result: QueryResult, max_rows: int = 50) -> str:
     return "\n".join(out)
 
 
-def _render(value) -> str:
-    if value is None:
-        return "NULL"
-    if isinstance(value, float):
-        return f"{value:g}"
-    if isinstance(value, list):
-        return "{" + ",".join(_render(v) for v in value) + "}"
-    return str(value)
-
-
 class Shell:
     """Line-oriented shell state machine."""
 
@@ -65,6 +64,10 @@ class Shell:
         self.timing = False
         self._buffer: List[str] = []
         self.done = False
+        #: Live :class:`~repro.service.client.ServiceClient` after
+        #: ``\connect``; ``None`` means statements run on :attr:`db`.
+        self.client = None
+        self.remote: str = ""
 
     @property
     def prompt(self) -> str:
@@ -88,7 +91,10 @@ class Shell:
     def _run_sql(self, sql: str) -> str:
         start = time.perf_counter()
         try:
-            result = self.db.execute(sql)
+            if self.client is not None:
+                result = self.client.execute(sql)
+            else:
+                result = self.db.execute(sql)
         except ReproError as exc:
             return f"ERROR: {exc}"
         elapsed = time.perf_counter() - start
@@ -135,9 +141,20 @@ class Shell:
         if head == "\\e":
             sql = command[len("\\e"):].strip()
             try:
+                if self.client is not None:
+                    return self.client.explain(sql)
                 return self.db.explain(sql)
             except ReproError as exc:
                 return f"ERROR: {exc}"
+        if head == "\\connect":
+            return self._connect(parts[1:])
+        if head == "\\disconnect":
+            if self.client is None:
+                return "Not connected."
+            self.client.close()
+            self.client = None
+            addr, self.remote = self.remote, ""
+            return f"Disconnected from {addr}; statements run locally."
         if head == "\\load":
             if len(parts) != 3:
                 return "usage: \\load <table> <path.csv>"
@@ -162,6 +179,8 @@ class Shell:
         if head == "\\trace":
             return self._trace(parts[1:])
         if head == "\\metrics":
+            if self.client is not None:
+                return self.client.metrics().rstrip("\n")
             return self.db.metrics_snapshot().rstrip("\n")
         if head == "\\help":
             return (
@@ -174,9 +193,40 @@ class Shell:
                 "(\\stream for usage)\n"
                 "\\trace ...   span tracing: on | off | dump <path>\n"
                 "\\metrics     Prometheus text snapshot of engine metrics\n"
+                "\\connect [host] <port>  route statements to a "
+                "repro.service server\n"
+                "\\disconnect  return to the embedded database\n"
                 "\\q           quit"
             )
         return f"unknown meta-command {head!r} (try \\help)"
+
+    def _connect(self, args: List[str]) -> str:
+        """Attach the shell to a running repro.service server."""
+        from repro.service.client import ServiceClient
+
+        usage = "usage: \\connect [host] <port>"
+        if len(args) == 1:
+            host, port_text = "127.0.0.1", args[0]
+        elif len(args) == 2:
+            host, port_text = args
+        else:
+            return usage
+        try:
+            port = int(port_text)
+        except ValueError:
+            return usage
+        try:
+            client = ServiceClient(host, port)
+        except (ReproError, OSError) as exc:
+            return f"ERROR: could not connect to {host}:{port}: {exc}"
+        if self.client is not None:
+            self.client.close()
+        self.client = client
+        self.remote = f"{host}:{port}"
+        return (
+            f"Connected to {self.remote} "
+            f"(session {client.session_id}); statements now run remotely."
+        )
 
     def _trace(self, args: List[str]) -> str:
         """Toggle span tracing or dump the buffered trace to a file."""

@@ -59,3 +59,32 @@ class CatalogError(ReproError):
 
 class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
+
+
+class ServiceError(ReproError):
+    """Base class for query-service errors (see :mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed load: admission queue full or connection cap hit.
+
+    Clients receive this as a typed wire error and are expected to back
+    off and retry; nothing about the rejected request was executed.
+    """
+
+
+class QueryCancelledError(ServiceError):
+    """A query was cancelled by the client before it finished.
+
+    Raised from :meth:`repro.core.cancel.CancelToken.check` at the next
+    operator-iteration boundary after :meth:`~repro.core.cancel.CancelToken.cancel`.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its deadline.
+
+    Raised cooperatively from :meth:`repro.core.cancel.CancelToken.check`
+    — the executing thread notices at an operator-iteration boundary, so
+    partially produced state is unwound through the normal exception path.
+    """

@@ -188,6 +188,57 @@ def prometheus_text(
     return "\n".join(w.lines) + "\n"
 
 
+def gauge_metric_name(gauge: str) -> str:
+    return f"{NAMESPACE}_{gauge}"
+
+
+def prometheus_text_for_bag(
+    bag: MetricBag,
+    counters: Tuple[str, ...] = (),
+    histograms: Tuple[str, ...] = (),
+    gauges: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Render one *labelled-vocabulary* bag as exposition text.
+
+    Unlike :func:`prometheus_text` — which is welded to the engine's
+    SGB/EXEC vocabulary and stream-view labelling — this renders an
+    arbitrary bag against a caller-supplied vocabulary: every name in
+    ``counters`` / ``histograms`` is emitted even at zero (stable series
+    set from the first scrape), bag entries outside the vocabulary are
+    appended after it, and ``gauges`` carries point-in-time values
+    (queue depth, in-flight requests) that don't belong in a monotonic
+    bag.  :mod:`repro.service` uses it for the service section of
+    ``GET /metrics``; the output parses with
+    :func:`parse_prometheus_text` just like the engine snapshot.
+    """
+    w = _Writer()
+    for counter in counters:
+        name = counter_metric_name(counter)
+        w.header(name, "counter", f"Counter '{counter}'.")
+        w.sample(name, {}, bag.get(counter))
+    for counter in sorted(set(bag.counters) - set(counters)):
+        name = counter_metric_name(counter)
+        w.header(name, "counter", f"Counter '{counter}'.")
+        w.sample(name, {}, bag.get(counter))
+    for gauge, value in sorted((gauges or {}).items()):
+        name = gauge_metric_name(gauge)
+        w.header(name, "gauge", f"Gauge '{gauge}'.")
+        w.sample(name, {}, value)
+    for timing in sorted(bag.timings):
+        name = timing_metric_name(timing)
+        w.header(name, "counter", "Accumulated wall time.")
+        w.sample(name, {}, bag.time(timing))
+    for hist_name in histograms:
+        hist = bag.histograms.get(hist_name)
+        _emit_histogram(w, histogram_metric_name(hist_name),
+                        hist if hist is not None else LatencyHistogram(),
+                        {})
+    for hist_name in sorted(set(bag.histograms) - set(histograms)):
+        _emit_histogram(w, histogram_metric_name(hist_name),
+                        bag.histograms[hist_name], {})
+    return "\n".join(w.lines) + "\n"
+
+
 # ----------------------------------------------------------------------
 # minimal exposition-format parser (round-trip tests, CI smoke check)
 # ----------------------------------------------------------------------

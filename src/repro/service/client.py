@@ -1,0 +1,229 @@
+"""Synchronous wire-protocol client (tests, bench, shell ``\\connect``).
+
+The client is blocking and single-socket: requests get sequential ids
+(``c1``, ``c2``, ...) and :meth:`ServiceClient.wait` reads frames until
+the wanted id answers, stashing any responses that arrive for *other*
+outstanding ids — so the pipelined pattern
+
+>>> client = ServiceClient(port=server.port)        # doctest: +SKIP
+>>> rid = client.request("query", sql=slow_sql)     # doctest: +SKIP
+>>> client.cancel(rid)                              # doctest: +SKIP
+True
+>>> client.wait(rid)                                # doctest: +SKIP
+Traceback (most recent call last):
+QueryCancelledError: query cancelled (c1)
+
+works from one thread.  One client is *not* safe for concurrent use
+from several threads; give each thread its own (they are cheap — one
+socket each), which is exactly what the benchmark harness does.
+
+Run ``python -m repro.service.client --help`` for the one-shot CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+from typing import Any, Dict, List, Optional, Union
+
+from repro.engine.database import QueryResult, StatementResult
+from repro.errors import ReproError, ServiceError
+from repro.service import wire
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.service.server.SGBService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7474,
+                 connect_timeout: float = 5.0):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        # Reads after the handshake block for as long as the query runs;
+        # deadlines are the *server's* job (timeout_s), not the socket's.
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self._stash: Dict[str, Dict[str, Any]] = {}
+        self._closed = False
+        hello = self._read_frame()
+        if hello.get("event") == "error":
+            self.close()
+            wire.raise_error(hello.get("error", {}))
+        if hello.get("event") != "hello":
+            self.close()
+            raise ServiceError(
+                f"expected a hello event, got {sorted(hello)!r}"
+            )
+        self.session_id: str = str(hello.get("session", ""))
+        self.protocol: int = int(hello.get("protocol", 0))
+        if self.protocol != wire.PROTOCOL_VERSION:
+            self.close()
+            raise ServiceError(
+                f"protocol mismatch: server speaks {self.protocol}, "
+                f"client speaks {wire.PROTOCOL_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    # low-level request/response
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> str:
+        """Send one request frame; returns its id without waiting."""
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        rid = f"c{self._next_id}"
+        frame = {"id": rid, "op": op}
+        frame.update(
+            {k: v for k, v in fields.items() if v is not None}
+        )
+        self._sock.sendall(wire.dumps(frame))
+        return rid
+
+    def wait(self, rid: str) -> Dict[str, Any]:
+        """Block until ``rid``'s response arrives; re-raise its typed
+        error on ``ok: false``, else return the payload."""
+        while True:
+            payload = self._stash.pop(rid, None)
+            if payload is None:
+                frame = self._read_frame()
+                if "event" in frame:
+                    if frame.get("event") == "error":
+                        wire.raise_error(frame.get("error", {}))
+                    continue  # ignore benign events
+                frame_id = frame.get("id")
+                if frame_id is None:
+                    # A null-id response means the server could not even
+                    # attribute the frame (malformed line); it can never
+                    # match an outstanding request, so raise it here.
+                    wire.raise_error(frame.get("error", {}))
+                if frame_id != rid:
+                    self._stash[str(frame_id)] = frame
+                    continue
+                payload = frame
+            if not payload.get("ok", False):
+                wire.raise_error(payload.get("error", {}))
+            return payload
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        return self.wait(self.request(op, **fields))
+
+    def _read_frame(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            self._closed = True
+            raise ServiceError("server closed the connection")
+        return wire.loads(line)
+
+    # ------------------------------------------------------------------
+    # high-level ops
+    # ------------------------------------------------------------------
+    def query(self, sql: str,
+              timeout_s: Optional[float] = None) -> QueryResult:
+        result = wire.decode_result(
+            self.call("query", sql=sql, timeout_s=timeout_s)["result"]
+        )
+        if not isinstance(result, QueryResult):
+            raise ServiceError("query returned a non-row result")
+        return result
+
+    def execute(self, sql: str, timeout_s: Optional[float] = None
+                ) -> Union[QueryResult, StatementResult]:
+        return wire.decode_result(
+            self.call("execute", sql=sql, timeout_s=timeout_s)["result"]
+        )
+
+    def explain(self, sql: str) -> str:
+        return str(self.call("explain", sql=sql)["plan"])
+
+    def cancel(self, target: str) -> bool:
+        """Cancel an in-flight request previously started with
+        :meth:`request`; True when the id was known and tripped."""
+        return bool(self.call("cancel", target=target)["cancelled"])
+
+    def ping(self) -> bool:
+        return bool(self.call("ping")["pong"])
+
+    def metrics(self) -> str:
+        """The server's Prometheus text snapshot (same as GET /metrics)."""
+        return str(self.call("metrics")["text"])
+
+    def stream_snapshot(self, name: str) -> Dict[str, Any]:
+        return dict(self.call("stream", name=name)["snapshot"])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ServiceClient(session={self.session_id}, {state})"
+
+
+# ----------------------------------------------------------------------
+# one-shot CLI
+# ----------------------------------------------------------------------
+def _render_result(result: Union[QueryResult, StatementResult]) -> str:
+    if isinstance(result, StatementResult):
+        return result.status
+    header = " | ".join(result.columns)
+    lines = [header, "-" * len(header)]
+    lines += [
+        " | ".join(wire.render_value(v) for v in row) for row in result.rows
+    ]
+    lines.append(f"({len(result.rows)} rows)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client",
+        description="One-shot client for a running repro.service server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7474)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-request deadline in seconds")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--sql", help="execute one SQL string and print it")
+    group.add_argument("--explain", metavar="SQL",
+                       help="print the server-side plan of a SELECT")
+    group.add_argument("--metrics", action="store_true",
+                       help="print the Prometheus snapshot")
+    group.add_argument("--ping", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.ping:
+                client.ping()
+                print(f"pong (session {client.session_id})")
+            elif args.metrics:
+                print(client.metrics(), end="")
+            elif args.explain:
+                print(client.explain(args.explain))
+            else:
+                print(_render_result(
+                    client.execute(args.sql, timeout_s=args.timeout)
+                ))
+    except (ReproError, OSError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

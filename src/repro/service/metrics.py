@@ -1,0 +1,79 @@
+"""Service-level metric vocabulary and Prometheus rendering.
+
+The service keeps its own :class:`~repro.obs.metrics.MetricBag`, separate
+from the engine's cumulative bag, because its lifecycle differs: engine
+metrics accumulate per Database, service metrics per server process, and
+``GET /metrics`` concatenates the two snapshots (their series names are
+disjoint — everything here is ``service_``-prefixed).
+
+Like the engine exporter, the full counter/histogram vocabulary is
+emitted even at zero so a scrape target sees a stable series set from the
+first scrape.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.metrics import MetricBag
+
+#: Service counter vocabulary (exported as ``repro_<name>_total``):
+#:
+#: service_requests
+#:     Wire requests received (any op, before admission).
+#: service_admitted / service_rejected
+#:     Admission-queue outcomes; ``rejected`` is the load-shedding
+#:     counter (``ServiceOverloadedError`` responses).
+#: service_completed / service_errors
+#:     Scheduled work that finished / raised (timeouts and cancels are
+#:     counted separately, not under ``errors``).
+#: service_timeouts / service_cancelled
+#:     Deadline expiries and client-initiated cancellations.
+#: service_sessions_opened / service_sessions_closed
+#:     Connection/session lifecycle.
+#: service_connections_refused
+#:     Connections turned away at the ``max_connections`` cap.
+SERVICE_COUNTER_FIELDS = (
+    "service_requests",
+    "service_admitted",
+    "service_rejected",
+    "service_completed",
+    "service_errors",
+    "service_timeouts",
+    "service_cancelled",
+    "service_sessions_opened",
+    "service_sessions_closed",
+    "service_connections_refused",
+)
+
+#: Service latency histograms (exported as
+#: ``repro_<name>_seconds`` bucket series):
+#:
+#: service_queue_wait_latency
+#:     Admission to execution start (scheduler queue wait).
+#: service_exec_latency
+#:     Engine execution time inside the worker.
+#: service_request_latency
+#:     End-to-end: request decoded to response ready.
+SERVICE_HISTOGRAM_FIELDS = (
+    "service_queue_wait_latency",
+    "service_exec_latency",
+    "service_request_latency",
+)
+
+
+def service_prometheus_text(bag: MetricBag,
+                            gauges: Mapping[str, float]) -> str:
+    """The service section of a ``/metrics`` response.
+
+    ``gauges`` carries point-in-time values (queue depth, in-flight
+    queries, active sessions) that have no place in a monotonic bag.
+    """
+    from repro.obs.export import prometheus_text_for_bag
+
+    return prometheus_text_for_bag(
+        bag,
+        counters=SERVICE_COUNTER_FIELDS,
+        histograms=SERVICE_HISTOGRAM_FIELDS,
+        gauges=gauges,
+    )

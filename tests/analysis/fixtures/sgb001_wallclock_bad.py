@@ -1,0 +1,18 @@
+# sgblint: module=repro.engine.fixture_wallclock_bad
+"""SGB001 wall-clock true positives *outside* the core RNG scope.
+
+``repro.engine`` is not in the determinism-rule RNG scope, but the
+wall-clock sub-check covers all of ``repro`` — both reads below must be
+flagged (and nothing else: the set iteration is fine here).
+"""
+
+import datetime
+import time
+
+
+def stamp_rows(rows):
+    received = time.time()  # wall clock
+    day = datetime.datetime.now()  # wall clock
+    for row in set(rows):  # fine outside the RNG/set scope
+        return row, received, day
+    return None, received, day

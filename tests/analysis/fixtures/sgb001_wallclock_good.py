@@ -1,0 +1,17 @@
+# sgblint: module=repro.service.fixture_wallclock_good
+"""SGB001 wall-clock true negatives: ``repro.service`` is exempt.
+
+The service's job is wall-anchored time — deadline bookkeeping on the
+monotonic clock and manufactured span timestamps on the wall clock — so
+neither read below needs a pragma.
+"""
+
+import time
+
+
+def deadline_for(timeout_s):
+    return time.monotonic() + timeout_s
+
+
+def span_anchor():
+    return time.time()  # exempt package: span timestamps are wall-anchored

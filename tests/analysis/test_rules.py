@@ -152,6 +152,49 @@ class TestRuleDetails:
         assert "does not parse" in findings[0].message
 
 
+class TestSGB001WallclockScope:
+    """The wall-clock sub-check runs repo-wide with exemptions; the RNG
+    and set-iteration sub-checks keep the original core scope."""
+
+    def test_wallclock_bad_fixture_flags_exactly_the_clock_reads(self):
+        path = fixture("sgb001_wallclock_bad.py")
+        findings = [f for f in lint_file(path) if f.rule == "SGB001"]
+        assert len(findings) == 2
+        assert all("wall-clock" in f.message for f in findings)
+        assert rules_hit(path) == {"SGB001"}
+
+    def test_wallclock_good_fixture_is_clean(self):
+        assert lint_file(fixture("sgb001_wallclock_good.py")) == []
+
+    def test_wallclock_flagged_outside_core_scope(self):
+        src = "import time\nstamp = time.time()\n"
+        findings = lint_source(src, module="repro.sql.planner")
+        assert [f.rule for f in findings] == ["SGB001"]
+
+    def test_rng_still_ignored_outside_core_scope(self):
+        src = "import random\nv = random.random()\n"
+        assert lint_source(src, module="repro.sql.planner") == []
+
+    def test_set_iteration_still_ignored_outside_core_scope(self):
+        src = "def f(xs):\n    return [x for x in set(xs)]\n"
+        assert lint_source(src, module="repro.engine.executor.base") == []
+
+    @pytest.mark.parametrize("module", [
+        "repro.service.server", "repro.obs.trace", "repro.bench.harness",
+    ])
+    def test_exempt_packages_allow_wallclock(self, module):
+        src = "import time\nanchor = time.time()\n"
+        assert lint_source(src, module=module) == []
+
+    def test_monotonic_allowed_in_core_scope(self):
+        src = "import time\ndeadline = time.monotonic() + 1.0\n"
+        assert lint_source(src, module="repro.core.cancel") == []
+
+    def test_non_repro_modules_out_of_scope(self):
+        src = "import time\nstamp = time.time()\n"
+        assert lint_source(src, module="tests.engine.test_service") == []
+
+
 class TestPragmas:
     SRC = "def f():\n    raise ValueError('x')\n"
 

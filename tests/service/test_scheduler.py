@@ -1,0 +1,162 @@
+"""QueryScheduler: admission, shedding, outcome metrics, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.cancel import CancelToken
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.scheduler import QueryScheduler
+
+
+@pytest.fixture
+def scheduler():
+    s = QueryScheduler(workers=2, queue_depth=4)
+    yield s
+    s.shutdown(wait=True)
+
+
+class TestExecution:
+    def test_submit_runs_and_returns(self, scheduler):
+        future = scheduler.submit(lambda: 41 + 1)
+        assert future.result(timeout=5.0) == 42
+
+    def test_results_preserve_identity(self, scheduler):
+        futures = [
+            scheduler.submit(lambda i=i: i * i) for i in range(4)
+        ]
+        assert [f.result(timeout=5.0) for f in futures] == [0, 1, 4, 9]
+
+    def test_exceptions_propagate(self, scheduler):
+        future = scheduler.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(timeout=5.0)
+        assert scheduler.metrics_view().get("service_errors") == 1
+
+    def test_completed_counter(self, scheduler):
+        scheduler.submit(lambda: None).result(timeout=5.0)
+        bag = scheduler.metrics_view()
+        assert bag.get("service_admitted") == 1
+        assert bag.get("service_completed") == 1
+        assert bag.histograms["service_queue_wait_latency"].count == 1
+        assert bag.histograms["service_exec_latency"].count == 1
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_typed_error(self):
+        s = QueryScheduler(workers=1, queue_depth=1)
+        try:
+            gate = threading.Event()
+            running = threading.Event()
+
+            def blocker():
+                running.set()
+                gate.wait(timeout=10.0)
+
+            first = s.submit(blocker)
+            assert running.wait(timeout=5.0)  # worker occupied
+            queued = s.submit(lambda: "queued")  # fills the queue
+            with pytest.raises(ServiceOverloadedError, match="queue full"):
+                s.submit(lambda: "shed")
+            assert s.metrics_view().get("service_rejected") == 1
+            gate.set()
+            assert first.result(timeout=5.0) is None
+            assert queued.result(timeout=5.0) == "queued"
+            # Shedding is load-dependent, not permanent.
+            assert s.submit(lambda: "ok").result(timeout=5.0) == "ok"
+        finally:
+            s.shutdown(wait=True)
+
+    def test_queue_depth_gauge(self):
+        s = QueryScheduler(workers=1, queue_depth=4)
+        try:
+            gate = threading.Event()
+            running = threading.Event()
+
+            def blocker():
+                running.set()
+                gate.wait(timeout=10.0)
+
+            s.submit(blocker)
+            assert running.wait(timeout=5.0)
+            s.submit(lambda: None)
+            s.submit(lambda: None)
+            assert s.queue_depth == 2
+            assert s.inflight == 1
+            gate.set()
+        finally:
+            s.shutdown(wait=True)
+
+
+class TestCancellation:
+    def test_deadline_burned_in_queue_fails_before_exec(self):
+        s = QueryScheduler(workers=1, queue_depth=4)
+        try:
+            gate = threading.Event()
+            running = threading.Event()
+
+            def blocker():
+                running.set()
+                gate.wait(timeout=10.0)
+
+            s.submit(blocker)
+            assert running.wait(timeout=5.0)
+            ran = []
+            token = CancelToken.with_timeout(0.01)
+            doomed = s.submit(lambda: ran.append(1), token=token)
+            time.sleep(0.05)  # let the deadline expire while queued
+            gate.set()
+            with pytest.raises(QueryTimeoutError):
+                doomed.result(timeout=5.0)
+            assert ran == []  # never touched the engine
+            assert s.metrics_view().get("service_timeouts") == 1
+        finally:
+            s.shutdown(wait=True)
+
+    def test_cancelled_token_classified(self, scheduler):
+        token = CancelToken()
+        token.cancel()
+        future = scheduler.submit(lambda: "unreached", token=token)
+        with pytest.raises(QueryCancelledError):
+            future.result(timeout=5.0)
+        assert scheduler.metrics_view().get("service_cancelled") == 1
+
+    def test_worker_slot_reclaimed_after_failure(self, scheduler):
+        token = CancelToken()
+        token.cancel()
+        bad = scheduler.submit(lambda: None, token=token)
+        with pytest.raises(QueryCancelledError):
+            bad.result(timeout=5.0)
+        assert scheduler.submit(lambda: "alive").result(timeout=5.0) == \
+            "alive"
+        assert scheduler.inflight == 0
+
+
+class TestLifecycle:
+    def test_shutdown_refuses_new_work(self):
+        s = QueryScheduler(workers=1, queue_depth=2)
+        s.shutdown(wait=True)
+        with pytest.raises(ServiceError, match="shut down"):
+            s.submit(lambda: None)
+
+    def test_shutdown_drains_queued_items(self):
+        s = QueryScheduler(workers=1, queue_depth=4)
+        futures = [s.submit(lambda i=i: i) for i in range(3)]
+        s.shutdown(wait=True)
+        assert [f.result(timeout=1.0) for f in futures] == [0, 1, 2]
+
+    def test_context_manager(self):
+        with QueryScheduler(workers=1, queue_depth=1) as s:
+            assert s.submit(lambda: "cm").result(timeout=5.0) == "cm"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ServiceError):
+            QueryScheduler(workers=0)
+        with pytest.raises(ServiceError):
+            QueryScheduler(queue_depth=0)
