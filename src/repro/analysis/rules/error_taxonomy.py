@@ -19,6 +19,9 @@ SUGGESTIONS = {
                   "repro.errors subclass",
     "RuntimeError": "ExecutionError, StreamStateError, or another "
                     "repro.errors subclass",
+    "TypeError": "ExecutionError (bad runtime value, e.g. a non-numeric "
+                 "grouping attribute) or InvalidParameterError "
+                 "(argument misuse)",
     "Exception": "a repro.errors subclass",
 }
 

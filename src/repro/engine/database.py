@@ -85,13 +85,18 @@ class Database:
     the algorithm choices evaluated in the paper):
 
     ``sgb_all_strategy`` / ``sgb_any_strategy``
-        ``"all-pairs"`` | ``"bounds-checking"`` | ``"index"`` (All only has
-        all three; Any supports ``"all-pairs"`` | ``"index"`` | ``"grid"``).
+        ``"auto"`` (default) lets the cost-based planner pick the cheapest
+        strategy per query from table statistics (``ANALYZE``); a concrete
+        name — ``"all-pairs"`` | ``"bounds-checking"`` | ``"index"`` for
+        All, ``"all-pairs"`` | ``"index"`` | ``"grid"`` for Any — is an
+        override that always wins.  Every strategy produces bit-identical
+        groups, so the knob only moves time around.
     ``tiebreak`` / ``seed``
         JOIN-ANY arbitration, see :class:`~repro.core.sgb_all.SGBAllOperator`.
     ``parallel``
-        Worker processes for PARTITION BY queries: ``0``/``1`` serial
-        (default), ``n > 1`` a pool of ``n``, negative one per CPU.
+        Worker processes for PARTITION BY queries: ``None`` (default)
+        decided by the planner from estimated partition counts, ``0``/``1``
+        serial, ``n > 1`` a pool of ``n``, negative one per CPU.
         Results are bit-identical to serial execution.
     ``trace``
         Start with hierarchical span tracing enabled (see
@@ -103,11 +108,11 @@ class Database:
 
     def __init__(
         self,
-        sgb_all_strategy: str = "index",
-        sgb_any_strategy: str = "index",
+        sgb_all_strategy: str = "auto",
+        sgb_any_strategy: str = "auto",
         tiebreak: str = "random",
         seed: int = 0,
-        parallel: int = 0,
+        parallel: Optional[int] = None,
         trace: bool = False,
     ):
         self.catalog = Catalog()
@@ -461,7 +466,24 @@ class Database:
             return self._execute_insert(stmt)
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt)
+        if isinstance(stmt, ast.Analyze):
+            self.update_statistics(stmt.table)
+            return StatementResult("ANALYZE")
         raise PlanningError(f"unsupported statement {type(stmt).__name__}")
+
+    def update_statistics(self, table: Optional[str] = None) -> None:
+        """Collect table statistics, as the SQL ``ANALYZE`` statement does.
+
+        With ``table`` refreshes that table's stats; without, every table
+        in the catalog.  Statistics feed the planner's cardinality and
+        cost estimates and the SGB strategy chooser.
+        """
+        with self._lock:
+            if table is not None:
+                self.catalog.get(table).analyze()
+            else:
+                for t in self.catalog:
+                    t.analyze()
 
     def _execute_explain(self, stmt: ast.Explain) -> QueryResult:
         """EXPLAIN [ANALYZE] as a statement: one plan line per result row."""

@@ -52,6 +52,7 @@ class HashAggregate(PhysicalOperator):
                  ctx_factory: Callable[[Schema], BindContext]):
         self.child = child
         ctx = ctx_factory(child.schema)
+        self._key_exprs = list(key_exprs)
         self._key_fns = [e.bind(ctx) for e in key_exprs]
         self._specs = build_agg_specs(agg_calls, ctx)
         self._n_keys = len(key_exprs)

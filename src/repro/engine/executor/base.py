@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.cancel import CancelToken
     from repro.obs.explain import NodeMetrics
     from repro.obs.trace import Tracer
+    from repro.stats.model import PlanEstimate
 
 
 def _cancel_checked(it: Iterator[tuple],
@@ -60,6 +61,12 @@ class PhysicalOperator:
     #: the next iteration boundary anywhere in the tree.
     _cancel: "Optional[CancelToken]" = None
 
+    #: Cost-model slot filled by :func:`repro.stats.estimator.estimate_plan`
+    #: (the planner runs it on every planned query): estimated output
+    #: cardinality and startup/total cost.  None for hand-built plans that
+    #: were never estimated.
+    _estimate: "Optional[PlanEstimate]" = None
+
     def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
 
@@ -79,8 +86,11 @@ class PhysicalOperator:
         if tracer is not None:
             from repro.obs.trace import traced_iter
 
-            it = traced_iter(tracer, self.describe(), it,
-                             node=type(self).__name__)
+            attrs = {"node": type(self).__name__}
+            if self._estimate is not None:
+                attrs["est_rows"] = self._estimate.rows_int
+                attrs["est_cost"] = round(self._estimate.total_cost, 2)
+            it = traced_iter(tracer, self.describe(), it, **attrs)
         return it
 
     def rows(self) -> List[tuple]:
@@ -96,7 +106,10 @@ class PhysicalOperator:
         return ()
 
     def explain(self, indent: int = 0) -> str:
-        lines = ["  " * indent + "-> " + self.describe()]
+        line = "  " * indent + "-> " + self.describe()
+        if self._estimate is not None:
+            line += f"  ({self._estimate.render()})"
+        lines = [line]
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)

@@ -6,9 +6,9 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.executor.base import PhysicalOperator
 from repro.engine.schema import Column, Schema
-from repro.engine.types import ANY
+from repro.engine.types import ANY, python_type_of
 from repro.errors import PlanningError
-from repro.sql.ast_nodes import BindContext, Expr
+from repro.sql.ast_nodes import BindContext, ColumnRef, Expr, Literal
 
 
 class Filter(PhysicalOperator):
@@ -35,15 +35,26 @@ class Filter(PhysicalOperator):
 
 
 class Project(PhysicalOperator):
-    """Computes the select list."""
+    """Computes the select list.
+
+    Output column types are propagated where they are knowable — a bare
+    column reference keeps its child-schema type, a literal gets the type
+    of its value — so schema-compatibility checks above a projection
+    (e.g. for UNION branches) have something to compare.  Computed
+    expressions stay ``ANY``.
+    """
 
     def __init__(self, child: PhysicalOperator, exprs: Sequence[Expr],
                  names: Sequence[str],
                  ctx_factory: Callable[[Schema], BindContext]):
         self.child = child
         ctx = ctx_factory(child.schema)
+        self._exprs = list(exprs)
         self._fns = [e.bind(ctx) for e in exprs]
-        self.schema = Schema([Column(n, ANY) for n in names])
+        self.schema = Schema([
+            Column(n, _projected_type(e, child.schema))
+            for e, n in zip(exprs, names)
+        ])
 
     def _execute(self) -> Iterator[tuple]:
         fns = self._fns
@@ -55,6 +66,18 @@ class Project(PhysicalOperator):
 
     def describe(self) -> str:
         return f"Project [{', '.join(self.schema.names())}]"
+
+
+def _projected_type(expr: Expr, child_schema: Schema) -> str:
+    if isinstance(expr, ColumnRef):
+        idx = child_schema.maybe_resolve(expr.name, expr.qualifier)
+        if idx is not None:
+            return child_schema.columns[idx].type
+        return ANY
+    if isinstance(expr, Literal):
+        inferred = python_type_of(expr.value)
+        return inferred if inferred is not None else ANY
+    return ANY
 
 
 class NestedLoopJoin(PhysicalOperator):
@@ -110,6 +133,8 @@ class HashJoin(PhysicalOperator):
         self.schema = left.schema.concat(right.schema)
         left_ctx = ctx_factory(left.schema)
         right_ctx = ctx_factory(right.schema)
+        self._left_key_exprs = list(left_keys)
+        self._right_key_exprs = list(right_keys)
         self._lkey_fns = [e.bind(left_ctx) for e in left_keys]
         self._rkey_fns = [e.bind(right_ctx) for e in right_keys]
         self._residual_expr = residual
@@ -200,8 +225,11 @@ class HashLeftJoin(PhysicalOperator):
         self.schema = left.schema.concat(right.schema)
         left_ctx = ctx_factory(left.schema)
         right_ctx = ctx_factory(right.schema)
+        self._left_key_exprs = list(left_keys)
+        self._right_key_exprs = list(right_keys)
         self._lkey_fns = [e.bind(left_ctx) for e in left_keys]
         self._rkey_fns = [e.bind(right_ctx) for e in right_keys]
+        self._residual_expr = residual
         self._residual = (
             residual.bind(ctx_factory(self.schema))
             if residual is not None else None
@@ -259,6 +287,8 @@ class SimilarityJoin(PhysicalOperator):
         self.schema = left.schema.concat(right.schema)
         left_ctx = ctx_factory(left.schema)
         right_ctx = ctx_factory(right.schema)
+        self._left_coord_exprs = list(left_coords)
+        self._right_coord_exprs = list(right_coords)
         self._lcoord_fns = [e.bind(left_ctx) for e in left_coords]
         self._rcoord_fns = [e.bind(right_ctx) for e in right_coords]
         self._residual = (

@@ -20,9 +20,19 @@ aggregate is a planning error (caught upstream).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import datetime as _dt
+import decimal as _decimal
 import os
 
 from repro import kernels
@@ -44,27 +54,41 @@ from repro.errors import ExecutionError
 from repro.obs.trace import maybe_span
 from repro.sql.ast_nodes import AggCall, BindContext, Expr
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.stats.chooser import SGBChoice
+
 
 def _coordinate(value):
     """Numeric coordinate for a grouping-attribute value.
 
-    Dates map to ordinal days (so ε is measured in days); bools are
-    rejected along with every other non-numeric type.
+    Dates map to ordinal days (so ε is measured in days) and ``Decimal``
+    values are numeric like any other; bools are rejected along with
+    every other non-numeric type — with a typed :class:`ExecutionError`,
+    so grouping-attribute failures stay inside the engine's error
+    taxonomy wherever :func:`_coordinate` is called from.
     """
     if isinstance(value, _dt.date):
         return float(value.toordinal())
+    if isinstance(value, _decimal.Decimal):
+        return float(value)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise TypeError(f"not a numeric grouping attribute: {value!r}")
+        raise ExecutionError(f"not a numeric grouping attribute: {value!r}")
     return float(value)
 
 
 class SGBConfig:
     """Execution knobs for the SGB node (set on the Database).
 
+    ``all_strategy`` / ``any_strategy`` default to ``"auto"``: the
+    planner's statistics-driven chooser picks the cheapest strategy per
+    query (see :mod:`repro.stats.chooser`).  A concrete strategy name is
+    an override that always wins.
+
     ``parallel`` dispatches independent PARTITION BY partitions to a
-    process pool: ``0``/``1`` serial (default), ``n > 1`` a pool of ``n``
-    workers, negative one worker per CPU.  Results are bit-identical to
-    serial execution (see :mod:`repro.core.parallel`).
+    process pool: ``None`` (default) lets the chooser decide, ``0``/``1``
+    force serial, ``n > 1`` a pool of ``n`` workers, negative one worker
+    per CPU.  Results are bit-identical to serial execution (see
+    :mod:`repro.core.parallel`).
 
     ``trace`` is an optional :class:`~repro.obs.trace.Tracer`; when set
     (the Database installs its tracer here when tracing is on), the SGB
@@ -72,9 +96,9 @@ class SGBConfig:
     trace context into parallel worker processes.
     """
 
-    def __init__(self, all_strategy: str = "index", any_strategy: str = "index",
-                 tiebreak: str = "random", seed: int = 0, parallel: int = 0,
-                 trace=None):
+    def __init__(self, all_strategy: str = "auto", any_strategy: str = "auto",
+                 tiebreak: str = "random", seed: int = 0,
+                 parallel: Optional[int] = None, trace=None):
         self.all_strategy = all_strategy
         self.any_strategy = any_strategy
         self.tiebreak = tiebreak
@@ -100,7 +124,20 @@ class SGBAggregate(PhysicalOperator):
         self.eps = eps
         self.on_overlap = on_overlap
         self.config = config
+        configured = (
+            config.all_strategy if mode == "all" else config.any_strategy
+        )
+        #: Resolved execution decisions.  Construction falls back to the
+        #: "index" default for an ``"auto"`` config; the planner upgrades
+        #: them via :meth:`apply_choice` once statistics are consulted.
+        self.strategy = configured if configured != "auto" else "index"
+        self.workers_hint: int = 0 if config.parallel is None else (
+            config.parallel
+        )
+        self.choice: "Optional[SGBChoice]" = None
         ctx = ctx_factory(child.schema)
+        self._key_exprs = list(key_exprs)
+        self._partition_exprs = list(partition_exprs)
         self._key_fns = [e.bind(ctx) for e in key_exprs]
         self._partition_fns = [e.bind(ctx) for e in partition_exprs]
         self._specs: List[AggSpec] = build_agg_specs(agg_calls, ctx)
@@ -108,6 +145,18 @@ class SGBAggregate(PhysicalOperator):
                    for i in range(len(partition_exprs))]
         columns += [Column(f"__agg{i}", ANY) for i in range(len(agg_calls))]
         self.schema = Schema(columns)
+
+    def apply_choice(self, choice: "SGBChoice") -> None:
+        """Install the planner's resolved strategy / parallel decision.
+
+        Kept as node-level fields (the shared :class:`SGBConfig` is never
+        mutated, so concurrent queries with different statistics cannot
+        race each other's choices).  All strategies produce bit-identical
+        memberships, so this only moves time around.
+        """
+        self.strategy = choice.strategy
+        self.workers_hint = choice.parallel
+        self.choice = choice
 
     def _partition_seed(self, pkey: tuple) -> int:
         """Deterministic per-partition RNG seed (see
@@ -123,14 +172,14 @@ class SGBAggregate(PhysicalOperator):
                 eps=self.eps,
                 metric=self.metric,
                 on_overlap=self.on_overlap,
-                strategy=self.config.all_strategy,
+                strategy=self.strategy,
                 tiebreak=self.config.tiebreak,
                 seed=self._partition_seed(pkey),
             )
         return dict(
             eps=self.eps,
             metric=self.metric,
-            strategy=self.config.any_strategy,
+            strategy=self.strategy,
         )
 
     @property
@@ -223,7 +272,7 @@ class SGBAggregate(PhysicalOperator):
         with maybe_span(tracer, "spool") as sp:
             partitions, partition_order = self._spool_partitions()
             sp.set(partitions=len(partition_order))
-        workers = resolve_workers(self.config.parallel)
+        workers = resolve_workers(self.workers_hint)
         label_lists: Optional[List[List[int]]] = None
         if workers > 1 and len(partition_order) > 1:
             with maybe_span(tracer, "parallel_dispatch", workers=workers,
@@ -270,9 +319,12 @@ class SGBAggregate(PhysicalOperator):
 
     def describe(self) -> str:
         clause = f" on-overlap={self.on_overlap}" if self.mode == "all" else ""
+        suffix = f" strategy={self.strategy}"
+        if self.choice is not None:
+            suffix += f"/{self.choice.source}"
         return (
             f"SimilarityGroupBy (distance-to-{self.mode} {self.metric} "
-            f"within {self.eps}{clause})"
+            f"within {self.eps}{clause})" + suffix
         )
 
 

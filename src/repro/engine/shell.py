@@ -174,6 +174,19 @@ class Shell:
             except ReproError as exc:
                 return f"ERROR: {exc}"
             return f"TPC-H-like data loaded at SF={sf:g}."
+        if head == "\\analyze":
+            if self.client is not None:
+                return self._run_sql(
+                    "ANALYZE" + (f" {parts[1]}" if len(parts) > 1 else "")
+                    + ";"
+                )
+            try:
+                self.db.update_statistics(parts[1] if len(parts) > 1 else None)
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+            return "ANALYZE"
+        if head == "\\stats":
+            return self._stats(parts[1:])
         if head == "\\stream":
             return self._stream(parts[1:])
         if head == "\\trace":
@@ -188,6 +201,8 @@ class Shell:
                 "\\e <sql>     explain a SELECT\n"
                 "\\timing      toggle per-statement timing\n"
                 "\\load t f    load CSV file f into new table t\n"
+                "\\analyze [t] collect planner statistics (all tables / t)\n"
+                "\\stats [t]   show collected table statistics\n"
                 "\\tpch [sf]   load the TPC-H-like dataset\n"
                 "\\stream ...  incremental SGB views "
                 "(\\stream for usage)\n"
@@ -199,6 +214,28 @@ class Shell:
                 "\\q           quit"
             )
         return f"unknown meta-command {head!r} (try \\help)"
+
+    def _stats(self, args: List[str]) -> str:
+        """Show the planner statistics collected by ANALYZE."""
+        if self.client is not None:
+            return "\\stats inspects the embedded database; \\disconnect first."
+        if args:
+            try:
+                tables = [self.db.table(args[0])]
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+        else:
+            tables = [self.db.table(n) for n in self.db.catalog.table_names()]
+        lines: List[str] = []
+        for table in tables:
+            if table.stats is None:
+                lines.append(
+                    f"{table.name}: no statistics (run ANALYZE "
+                    f"or \\analyze)"
+                )
+            else:
+                lines.extend(table.stats.summary_lines())
+        return "\n".join(lines) if lines else "No tables."
 
     def _connect(self, args: List[str]) -> str:
         """Attach the shell to a running repro.service server."""

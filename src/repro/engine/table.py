@@ -1,14 +1,23 @@
-"""Heap tables: an in-memory row store with schema validation and
-secondary B+tree indexes."""
+"""Heap tables: an in-memory row store with schema validation,
+secondary B+tree indexes, and cached ANALYZE statistics."""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine import types as T
 from repro.engine.schema import Column, Schema
 from repro.errors import CatalogError, InvalidParameterError
 from repro.index.btree import BPlusTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.stats.collect import TableStats
+
+#: A cached statistics snapshot is stale once the row count has drifted
+#: by more than this fraction (and at least this many rows) since the
+#: last ANALYZE.
+_STALENESS_FRACTION = 0.2
+_STALENESS_MIN_ROWS = 16
 
 
 class TableIndex:
@@ -66,6 +75,9 @@ class Table:
         self.rows: List[Tuple[Any, ...]] = []
         self.indexes: Dict[str, TableIndex] = {}
         self._insert_listeners: List[Any] = []
+        #: Cached ANALYZE statistics (see :mod:`repro.stats.collect`);
+        #: None until the first :meth:`analyze` / :meth:`active_stats`.
+        self.stats: "Optional[TableStats]" = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -131,13 +143,50 @@ class Table:
         for row in rows:
             self.insert(row)
             count += 1
+        # Auto-analyze on bulk load: if the batch pushed previously
+        # collected statistics past staleness, refresh them now so the
+        # next query plans against the new reality instead of paying the
+        # refresh at plan time.
+        if count and self.stats is not None and self._stats_stale():
+            self.analyze()
         return count
 
     def truncate(self) -> None:
         self.rows.clear()
+        self.stats = None
         # rebuild (now empty) indexes rather than leaving stale row ids
         for name, index in list(self.indexes.items()):
             self.indexes[name] = TableIndex(name, self, index.column)
+
+    # ------------------------------------------------------------------
+    # ANALYZE statistics
+    # ------------------------------------------------------------------
+    def analyze(self) -> "TableStats":
+        """Collect and cache fresh statistics for this table."""
+        from repro.stats.collect import analyze_table
+
+        self.stats = analyze_table(self)
+        return self.stats
+
+    def _stats_stale(self) -> bool:
+        if self.stats is None:
+            return True
+        drift = abs(len(self.rows) - self.stats.row_count)
+        threshold = max(
+            _STALENESS_MIN_ROWS, int(self.stats.row_count * _STALENESS_FRACTION)
+        )
+        return drift > threshold
+
+    def active_stats(self) -> "Optional[TableStats]":
+        """Current statistics, refreshed transparently when stale.
+
+        This is the planner's entry point: estimates always see
+        statistics no more than ~20% out of date.  Empty tables report
+        an (accurate) empty snapshot rather than None.
+        """
+        if self.stats is None or self._stats_stale():
+            self.analyze()
+        return self.stats
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self)} rows)"

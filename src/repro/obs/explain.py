@@ -119,12 +119,14 @@ def render_analyze(plan) -> str:
 
     def walk(node, indent: int) -> None:
         obs: Optional[NodeMetrics] = getattr(node, "_obs", None)
+        est = getattr(node, "_estimate", None)
+        est_part = f"({est.render()})  " if est is not None else ""
         pad = "  " * indent
         if obs is None:  # pragma: no cover - defensive
-            lines.append(f"{pad}-> {node.describe()}")
+            lines.append(f"{pad}-> {node.describe()}  {est_part}".rstrip())
         else:
             lines.append(
-                f"{pad}-> {node.describe()} "
+                f"{pad}-> {node.describe()}  {est_part}"
                 f"(actual rows={obs.rows_out} loops={obs.loops}, "
                 f"time={obs.time_s * 1000.0:.2f} ms)"
             )
@@ -153,6 +155,13 @@ def plan_metrics(plan) -> Dict[str, Any]:
     def walk(node) -> Dict[str, Any]:
         obs: Optional[NodeMetrics] = getattr(node, "_obs", None)
         out: Dict[str, Any] = {"node": node.describe()}
+        est = getattr(node, "_estimate", None)
+        if est is not None:
+            out["estimated_rows"] = est.rows_int
+            out["estimated_cost"] = {
+                "startup": round(est.startup_cost, 4),
+                "total": round(est.total_cost, 4),
+            }
         if obs is not None:
             out.update(obs.as_dict())
         kids = [walk(child) for child in node.children()]

@@ -738,3 +738,11 @@ class Explain:
     def __init__(self, query, analyze: bool = False):
         self.query = query
         self.analyze = analyze
+
+
+class Analyze:
+    """``ANALYZE [table]`` — collect planner statistics (all tables when
+    no table name is given), PostgreSQL-style."""
+
+    def __init__(self, table: Optional[str] = None):
+        self.table = table

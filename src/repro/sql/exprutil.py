@@ -1,0 +1,71 @@
+"""Expression-tree utilities shared by the planner and the cost estimator.
+
+These predicates used to live inside :mod:`repro.sql.planner`; the
+statistics estimator needs the same conjunct splitting and
+column-comparison pattern matching, and importing the planner from
+:mod:`repro.stats` would be a cycle — so they live here, below both.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.schema import Schema
+from repro.sql import ast_nodes as ast
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
+    """Flatten a tree of AND into its conjuncts."""
+    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def and_all(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
+    """Rebuild a conjunction (None for the empty list)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for c in conjuncts[1:]:
+        result = ast.BinaryOp("and", result, c)
+    return result
+
+
+def column_refs(expr: ast.Expr) -> List[ast.ColumnRef]:
+    return [n for n in expr.walk() if isinstance(n, ast.ColumnRef)]
+
+
+def resolvable(expr: ast.Expr, schema: Schema) -> bool:
+    """True when every column the expression references exists in ``schema``."""
+    return all(
+        schema.maybe_resolve(ref.name, ref.qualifier) is not None
+        for ref in column_refs(expr)
+    )
+
+
+def extract_const_comparison(
+    conj: ast.Expr,
+) -> Optional[Tuple[ast.ColumnRef, str, object, object]]:
+    """Recognize ``col op constant`` / ``constant op col`` / ``col BETWEEN
+    c1 AND c2`` patterns.  Returns ``(ColumnRef, op, low, high)`` with op in
+    {=, <, <=, >, >=, between} (high only for between), or None."""
+    if (isinstance(conj, ast.Between) and not conj.negated
+            and isinstance(conj.operand, ast.ColumnRef)
+            and isinstance(conj.low, ast.Literal)
+            and isinstance(conj.high, ast.Literal)
+            and conj.low.value is not None
+            and conj.high.value is not None):
+        return conj.operand, "between", conj.low.value, conj.high.value
+    if not isinstance(conj, ast.BinaryOp) or conj.op not in _FLIPPED_OP:
+        return None
+    left, right, op = conj.left, conj.right, conj.op
+    if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        left, right = right, left
+        op = _FLIPPED_OP[op]
+    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal)):
+        return None
+    if right.value is None:
+        return None
+    return left, op, right.value, None

@@ -148,7 +148,17 @@ class Parser:
             return self._insert()
         if self._check_ident("explain"):
             return self._explain()
+        if self._check_ident("analyze"):
+            return self._analyze()
         raise ParseError(f"unexpected token {self._peek().value!r}")
+
+    def _analyze(self) -> ast.Analyze:
+        self._expect_ident("analyze")
+        table = None
+        tok = self._peek()
+        if tok.type == IDENT and tok.value not in _KEYWORDS:
+            table = self._ident()
+        return ast.Analyze(table)
 
     def _explain(self) -> ast.Explain:
         self._expect_ident("explain")

@@ -41,8 +41,19 @@ from repro.engine.executor.scans import (
 )
 from repro.engine.executor.sgb import SGBAggregate, SGBConfig
 from repro.engine.schema import Schema
+from repro.engine.types import ANY
 from repro.errors import PlanningError
 from repro.sql import ast_nodes as ast
+from repro.sql.exprutil import (
+    _FLIPPED_OP,
+    and_all as _and_all,
+    column_refs as _column_refs,
+    extract_const_comparison as _extract_const_comparison,
+    resolvable as _resolvable,
+    split_conjuncts as _split_conjuncts,
+)
+from repro.stats import chooser as _chooser
+from repro.stats import estimator as _estimator
 
 
 class Planner:
@@ -63,24 +74,36 @@ class Planner:
     # entry points
     # ------------------------------------------------------------------
     def plan_query(self, node) -> PhysicalOperator:
-        """Plan a SELECT or a UNION chain of SELECTs."""
+        """Plan a SELECT or a UNION chain of SELECTs.
+
+        The finished tree is run through the cost estimator, so every
+        node carries an estimated cardinality and startup/total cost
+        (surfaced by EXPLAIN and the obs/trace layer).
+        """
         if isinstance(node, ast.Union):
-            return self._plan_union(node)
-        return self.plan_select(node)
+            plan = self._plan_union(node)
+        else:
+            plan = self.plan_select(node)
+        _estimator.estimate_plan(plan)
+        return plan
 
     def _plan_union(self, union: ast.Union) -> PhysicalOperator:
         plans = [self.plan_select(s) for s in union.selects]
-        arities = {len(p.schema) for p in plans}
-        if len(arities) != 1:
-            raise PlanningError(
-                "UNION branches must have the same number of columns"
-            )
-        plan: PhysicalOperator = Concat(plans)
-        # a single non-ALL UNION anywhere makes the whole chain distinct
-        # (matching PostgreSQL's left-associative semantics closely enough
-        # for homogeneous chains; mixed chains apply distinct at the top)
-        if not all(union.all_flags):
-            plan = Distinct(plan)
+        first = plans[0]
+        for branch in plans[1:]:
+            _check_union_compatible(first, branch)
+        # Left-associative UNION semantics, like PostgreSQL: each non-ALL
+        # link applies DISTINCT over everything accumulated so far, so
+        # ``A UNION B UNION ALL C`` deduplicates A+B but keeps C's
+        # duplicates.  Adjacent ALL links collapse into one Concat.
+        plan: PhysicalOperator = plans[0]
+        for branch, all_link in zip(plans[1:], union.all_flags):
+            if isinstance(plan, Concat):
+                plan = Concat(plan.inputs + [branch])
+            else:
+                plan = Concat([plan, branch])
+            if not all_link:
+                plan = Distinct(plan)
         return plan
 
     def plan_select(self, select: ast.Select) -> PhysicalOperator:
@@ -235,9 +258,9 @@ class Planner:
                 applicable, current.schema, right.schema
             )
             if left_keys:
-                current = HashJoin(
-                    current, right, left_keys, right_keys,
-                    _and_all(residual), self._ctx_factory,
+                current = self._choose_inner_join(
+                    current, right, left_keys, right_keys, residual,
+                    applicable,
                 )
                 continue
             sim = self._try_similarity_join(
@@ -252,6 +275,37 @@ class Planner:
         if remaining:
             current = Filter(current, _and_all(remaining), self._ctx_factory)
         return current
+
+    # ------------------------------------------------------------------
+    # join algorithm choice
+    # ------------------------------------------------------------------
+    def _choose_inner_join(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: Sequence[ast.Expr],
+        right_keys: Sequence[ast.Expr],
+        residual: Sequence[ast.Expr],
+        all_conjuncts: Sequence[ast.Expr],
+    ) -> PhysicalOperator:
+        """Hash join vs nested loop, by estimated cost.
+
+        Both candidates are built and run through the estimator; the hash
+        join's linear build+probe beats the nested loop's quadratic scan
+        for anything but the smallest inputs, so this mostly confirms the
+        old always-hash heuristic — but a one-row driving side no longer
+        pays for a hash table it doesn't need.
+        """
+        hash_join = HashJoin(
+            left, right, list(left_keys), list(right_keys),
+            _and_all(list(residual)), self._ctx_factory,
+        )
+        nl_join = NestedLoopJoin(
+            left, right, _and_all(list(all_conjuncts)), self._ctx_factory
+        )
+        hash_cost = _estimator.estimate_plan(hash_join).total_cost
+        nl_cost = _estimator.estimate_plan(nl_join).total_cost
+        return nl_join if nl_cost < hash_cost else hash_join
 
     # ------------------------------------------------------------------
     # similarity join recognition
@@ -343,8 +397,13 @@ class Planner:
                     return True
             return False
 
+        # Statistics-backed cardinalities (selectivity of any pushed-down
+        # filters included) replace the old flat leaf-size heuristic.
+        est_rows = {
+            id(p[1]): _estimator.estimate_plan(p[1]).rows for p in pairs
+        }
         remaining_pairs = pairs[:]
-        start = max(remaining_pairs, key=lambda p: _estimate_rows(p[1]))
+        start = max(remaining_pairs, key=lambda p: est_rows[id(p[1])])
         remaining_pairs.remove(start)
         ordered = [start]
         schema = start[1].schema
@@ -353,7 +412,7 @@ class Planner:
                 p for p in remaining_pairs if connected(schema, p[1])
             ]
             pool = linked or remaining_pairs
-            best = min(pool, key=lambda p: _estimate_rows(p[1]))
+            best = min(pool, key=lambda p: est_rows[id(p[1])])
             remaining_pairs.remove(best)
             ordered.append(best)
             schema = schema.concat(best[1].schema)
@@ -464,6 +523,7 @@ class Planner:
             config=self.sgb_config,
             partition_exprs=spec.partition_by,
         )
+        self._resolve_sgb_choice(plan, child, spec, eps)
         # partition keys are constant within an output group, so the select
         # list may reference them directly (like plain GROUP BY keys)
         key_map = {k.key(): i for i, k in enumerate(spec.partition_by)}
@@ -473,6 +533,44 @@ class Planner:
         }
         rewriter = _make_post_agg_rewriter(key_map, agg_map, sgb=True)
         return plan, rewriter
+
+    def _resolve_sgb_choice(self, plan: SGBAggregate,
+                            child: PhysicalOperator, spec,
+                            eps: float) -> None:
+        """Resolve the SGB strategy / parallel degree from statistics.
+
+        The configured strategy is consulted first: anything but the
+        ``"auto"`` sentinel is a user override and wins (provenance
+        ``"flag"``).  Otherwise the chooser ranks the mode's strategies
+        by modelled cost using the estimated input cardinality and the
+        ε-density from the ANALYZE histograms.  All strategies produce
+        bit-identical memberships, so this is purely a cost decision.
+        """
+        child_est = _estimator.estimate_plan(child)
+        density = _estimator.sgb_density(
+            child, plan._key_exprs, eps, n_rows=child_est.rows
+        )
+        partitions = _estimator.estimate_ndv_product(
+            child, plan._partition_exprs
+        )
+        configured = (
+            self.sgb_config.all_strategy if spec.mode == "all"
+            else self.sgb_config.any_strategy
+        )
+        has_stats = (
+            density is not None
+            or _estimator.table_stats_for(child) is not None
+        )
+        choice = _chooser.resolve_sgb_choice(
+            spec.mode,
+            configured,
+            eps,
+            child_est.rows if has_stats else None,
+            density,
+            self.sgb_config.parallel,
+            partitions,
+        )
+        plan.apply_choice(choice)
 
     def _plan_around_nd_aggregate(
         self, select: ast.Select, child: PhysicalOperator
@@ -575,32 +673,31 @@ class Planner:
 
 
 # ----------------------------------------------------------------------
-# expression utilities
+# expression utilities (shared with the estimator via sql.exprutil)
 # ----------------------------------------------------------------------
-def _split_conjuncts(expr: ast.Expr) -> List[ast.Expr]:
-    if isinstance(expr, ast.BinaryOp) and expr.op == "and":
-        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
-    return [expr]
+#: Numeric types compare/merge freely across UNION branches.
+_NUMERIC_TYPES = frozenset({"int", "float"})
 
 
-def _and_all(conjuncts: Sequence[ast.Expr]) -> Optional[ast.Expr]:
-    if not conjuncts:
-        return None
-    result = conjuncts[0]
-    for c in conjuncts[1:]:
-        result = ast.BinaryOp("and", result, c)
-    return result
-
-
-def _column_refs(expr: ast.Expr) -> List[ast.ColumnRef]:
-    return [n for n in expr.walk() if isinstance(n, ast.ColumnRef)]
-
-
-def _resolvable(expr: ast.Expr, schema: Schema) -> bool:
-    return all(
-        schema.maybe_resolve(ref.name, ref.qualifier) is not None
-        for ref in _column_refs(expr)
-    )
+def _check_union_compatible(first: PhysicalOperator,
+                            branch: PhysicalOperator) -> None:
+    """Schema compatibility across UNION branches: same arity AND no
+    column pair with known, incompatible types (numerics inter-mix; an
+    ``ANY`` column — computed expression — is compatible with anything)."""
+    if len(first.schema) != len(branch.schema):
+        raise PlanningError(
+            "UNION branches must have the same number of columns "
+            f"({len(first.schema)} vs {len(branch.schema)})"
+        )
+    for i, (a, b) in enumerate(zip(first.schema, branch.schema)):
+        if a.type == ANY or b.type == ANY or a.type == b.type:
+            continue
+        if a.type in _NUMERIC_TYPES and b.type in _NUMERIC_TYPES:
+            continue
+        raise PlanningError(
+            f"UNION branches have incompatible types in column {i + 1} "
+            f"({a.name!r}): {a.type} vs {b.type}"
+        )
 
 
 def _split_equi(
@@ -628,50 +725,6 @@ def _split_equi(
                 continue
         residual.append(conj)
     return left_keys, right_keys, residual
-
-
-def _estimate_rows(plan: PhysicalOperator) -> float:
-    """Crude cardinality estimate for join ordering (leaf sizes with flat
-    selectivity factors — enough to separate big tables from small ones)."""
-    from repro.engine.executor.relational import Filter as _Filter
-
-    if isinstance(plan, SeqScan):
-        return float(len(plan.table.rows))
-    if isinstance(plan, IndexScan):
-        return max(1.0, len(plan.table.rows) / 10.0)
-    if isinstance(plan, _Filter):
-        return max(1.0, _estimate_rows(plan.child) / 3.0)
-    children = plan.children()
-    if children:
-        return _estimate_rows(children[0])
-    return 1000.0
-
-
-_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
-
-
-def _extract_const_comparison(conj: ast.Expr):
-    """Recognize ``col op constant`` / ``constant op col`` / ``col BETWEEN
-    c1 AND c2`` patterns.  Returns ``(ColumnRef, op, low, high)`` with op in
-    {=, <, <=, >, >=, between} (high only for between), or None."""
-    if (isinstance(conj, ast.Between) and not conj.negated
-            and isinstance(conj.operand, ast.ColumnRef)
-            and isinstance(conj.low, ast.Literal)
-            and isinstance(conj.high, ast.Literal)
-            and conj.low.value is not None
-            and conj.high.value is not None):
-        return conj.operand, "between", conj.low.value, conj.high.value
-    if not isinstance(conj, ast.BinaryOp) or conj.op not in _FLIPPED_OP:
-        return None
-    left, right, op = conj.left, conj.right, conj.op
-    if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
-        left, right = right, left
-        op = _FLIPPED_OP[op]
-    if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal)):
-        return None
-    if right.value is None:
-        return None
-    return left, op, right.value, None
 
 
 def _rebuild(expr: ast.Expr, fn: Callable[[ast.Expr], ast.Expr]) -> ast.Expr:

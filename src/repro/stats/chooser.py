@@ -1,0 +1,149 @@
+"""The SGB strategy chooser: statistics in, execution decisions out.
+
+This is the piece the paper delegates to the PostgreSQL optimizer (§8.2):
+given the estimated input cardinality and the ε-neighbourhood density the
+ANALYZE histograms predict, pick the cheapest grouping strategy
+(All-Pairs vs Bounds-Checking vs R-tree for SGB-All; All-Pairs vs R-tree
+vs grid for SGB-Any) and the parallel worker count — instead of trusting
+user flags.  Flags still win when given: a concrete strategy string in
+:class:`~repro.engine.executor.sgb.SGBConfig` is an override, and only
+the ``"auto"`` sentinel engages the chooser.
+
+All strategies produce bit-identical memberships for the same input
+(candidate lists are kept in group-creation order everywhere), so the
+choice is purely a performance decision — the correctness property the
+planner bench gates on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.stats.model import sgb_strategy_cost
+
+#: Sentinel strategy / parallel values meaning "let the chooser decide".
+AUTO = "auto"
+
+#: Strategies the chooser ranks, per mode.
+ANY_STRATEGIES: Tuple[str, ...] = ("all-pairs", "index", "grid")
+ALL_STRATEGIES: Tuple[str, ...] = ("all-pairs", "bounds-checking", "index")
+
+#: Fallbacks when the chooser has nothing to go on (no stats, tiny input).
+DEFAULT_ANY_STRATEGY = "index"
+DEFAULT_ALL_STRATEGY = "index"
+
+#: Below this many points per partition every strategy finishes instantly;
+#: the on-the-fly scan has the smallest constant.  Kept small: in ALL
+#: mode the per-group scan makes all-pairs lose to bounds-checking well
+#: before n=400 on sparse data.
+SMALL_INPUT = 128
+
+#: Minimum points per partition before a worker process pays for itself.
+PARALLEL_MIN_POINTS = 2000
+
+
+@dataclass
+class SGBChoice:
+    """One resolved execution decision, with provenance for EXPLAIN."""
+
+    strategy: str
+    parallel: int
+    source: str  # "stats" | "flag" | "default"
+    reason: str
+    est_points: float = 0.0
+    est_neighbors: float = 0.0
+    costs: Optional[Dict[str, float]] = None
+
+
+def choose_strategy(mode: str, n: float, avg_neighbors: Optional[float],
+                    eps: float) -> Tuple[str, str, Dict[str, float]]:
+    """Rank the mode's strategies by modelled cost.
+
+    Returns ``(strategy, reason, costs)``.  ``avg_neighbors`` is the
+    expected ε-ball occupancy from the density histograms (None when no
+    stats were available — the density-sensitive strategies then assume a
+    moderate occupancy instead of winning or losing by default).
+    """
+    candidates = ALL_STRATEGIES if mode == "all" else ANY_STRATEGIES
+    if n <= SMALL_INPUT:
+        return (
+            "all-pairs",
+            f"n={n:.0f} <= {SMALL_INPUT}: scan constant wins",
+            {},
+        )
+    k = avg_neighbors if avg_neighbors is not None else min(n, 16.0)
+    if eps <= 0 and mode == "any":
+        # Degenerates to equality grouping; the grid cannot express a
+        # zero cell size (the operator falls back to all-pairs anyway).
+        candidates = ("all-pairs", "index")
+    costs = {s: sgb_strategy_cost(mode, s, n, k) for s in candidates}
+    best = min(costs, key=lambda s: costs[s])
+    reason = (
+        f"n={n:.0f} k={k:.1f}: "
+        + " ".join(f"{s}={costs[s]:.0f}" for s in candidates)
+    )
+    return best, reason, costs
+
+
+def choose_parallel(n: float, n_partitions: Optional[float],
+                    cpu_count: Optional[int] = None) -> int:
+    """Worker-process count for PARTITION BY execution.
+
+    Parallelism only pays when there are at least two partitions to farm
+    out, enough points for the fork/pickle overhead to amortize, and more
+    than one CPU to run them on.  Returns ``0`` (serial) otherwise; the
+    result feeds :func:`repro.core.parallel.resolve_workers` unchanged.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus <= 1 or not n_partitions or n_partitions < 2:
+        return 0
+    if n < PARALLEL_MIN_POINTS * 2:
+        return 0
+    return int(min(cpus, n_partitions))
+
+
+def resolve_sgb_choice(
+    mode: str,
+    configured: str,
+    eps: float,
+    est_points: Optional[float],
+    avg_neighbors: Optional[float],
+    configured_parallel: Optional[int],
+    est_partitions: Optional[float],
+) -> SGBChoice:
+    """Resolve a (possibly ``"auto"``) configured strategy into a concrete
+    :class:`SGBChoice`, demoting flags to overrides."""
+    if configured_parallel is None:
+        parallel = choose_parallel(est_points or 0.0, est_partitions)
+    else:
+        parallel = configured_parallel
+    if configured != AUTO:
+        return SGBChoice(
+            strategy=configured,
+            parallel=parallel,
+            source="flag",
+            reason="strategy forced by flag",
+            est_points=est_points or 0.0,
+            est_neighbors=avg_neighbors if avg_neighbors is not None else -1.0,
+        )
+    if est_points is None:
+        default = DEFAULT_ALL_STRATEGY if mode == "all" else DEFAULT_ANY_STRATEGY
+        return SGBChoice(
+            strategy=default,
+            parallel=parallel,
+            source="default",
+            reason="no statistics available",
+        )
+    strategy, reason, costs = choose_strategy(mode, est_points,
+                                              avg_neighbors, eps)
+    return SGBChoice(
+        strategy=strategy,
+        parallel=parallel,
+        source="stats",
+        reason=reason,
+        est_points=est_points,
+        est_neighbors=avg_neighbors if avg_neighbors is not None else -1.0,
+        costs=costs or None,
+    )

@@ -1,0 +1,88 @@
+"""UNION chain semantics: per-link distinct and branch compatibility.
+
+Regression tests for two planner bugs: mixed ``UNION`` / ``UNION ALL``
+chains used to apply one Distinct at the top of the whole chain (instead
+of per non-ALL link, left-associatively, as SQL requires), and branch
+compatibility was checked by arity only, letting type-incompatible
+branches through to fail (or silently coerce) at runtime.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE a (x int)")
+    d.execute("CREATE TABLE b (x int)")
+    d.insert("a", [(1,), (2,)])
+    d.insert("b", [(1,), (3,)])
+    return d
+
+
+class TestMixedChains:
+    def test_union_then_union_all_keeps_right_duplicates(self, db):
+        # (A UNION B) dedupes to {1,2,3}; UNION ALL C must keep C's rows
+        # even when they duplicate earlier values.
+        res = db.query(
+            "SELECT x FROM a UNION SELECT x FROM b "
+            "UNION ALL SELECT 1 UNION ALL SELECT 1"
+        )
+        values = sorted(v for (v,) in res.rows)
+        assert values == [1, 1, 1, 2, 3]
+
+    def test_union_all_then_union_dedupes_everything(self, db):
+        res = db.query(
+            "SELECT x FROM a UNION ALL SELECT x FROM a UNION SELECT x FROM b"
+        )
+        assert sorted(v for (v,) in res.rows) == [1, 2, 3]
+
+    def test_pure_union_all_unchanged(self, db):
+        res = db.query("SELECT x FROM a UNION ALL SELECT x FROM a")
+        assert sorted(v for (v,) in res.rows) == [1, 1, 2, 2]
+
+    def test_pure_union_unchanged(self, db):
+        res = db.query("SELECT x FROM a UNION SELECT x FROM a")
+        assert sorted(v for (v,) in res.rows) == [1, 2]
+
+    def test_distinct_per_link_visible_in_plan(self, db):
+        plan = db.explain(
+            "SELECT x FROM a UNION SELECT x FROM b UNION ALL SELECT x FROM a"
+        )
+        # the Distinct sits under the outer Concat, not above it
+        lines = plan.splitlines()
+        distinct_depth = next(
+            i for i, l in enumerate(lines) if "Distinct" in l
+        )
+        concat_depth = next(i for i, l in enumerate(lines) if "Concat" in l)
+        assert distinct_depth > concat_depth
+
+
+class TestBranchCompatibility:
+    def test_arity_mismatch_still_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT x FROM a UNION SELECT x, x FROM b")
+
+    def test_type_incompatible_branches_rejected(self, db):
+        db.execute("CREATE TABLE words (w text)")
+        db.insert("words", [("hi",)])
+        with pytest.raises(PlanningError, match="incompatible types"):
+            db.query("SELECT x FROM a UNION SELECT w FROM words")
+
+    def test_error_names_column_and_types(self, db):
+        db.execute("CREATE TABLE words (w text)")
+        with pytest.raises(PlanningError, match="column 1.*int.*text"):
+            db.query("SELECT x FROM a UNION ALL SELECT w FROM words")
+
+    def test_numeric_types_intermix(self, db):
+        db.execute("CREATE TABLE f (v float)")
+        db.insert("f", [(2.5,)])
+        res = db.query("SELECT x FROM a UNION ALL SELECT v FROM f")
+        assert len(res.rows) == 3
+
+    def test_untyped_literals_compatible_with_anything(self, db):
+        res = db.query("SELECT x FROM a UNION SELECT 9")
+        assert sorted(v for (v,) in res.rows) == [1, 2, 9]

@@ -1,0 +1,80 @@
+"""Unit tests for the SGB strategy chooser (repro.stats.chooser)."""
+
+from repro.stats.chooser import (
+    AUTO,
+    SMALL_INPUT,
+    choose_parallel,
+    choose_strategy,
+    resolve_sgb_choice,
+)
+
+
+class TestChooseStrategy:
+    def test_small_input_prefers_scan(self):
+        strategy, reason, costs = choose_strategy("any", SMALL_INPUT, 4.0, 0.5)
+        assert strategy == "all-pairs"
+        assert "scan constant" in reason
+
+    def test_sparse_any_prefers_grid(self):
+        strategy, _, costs = choose_strategy("any", 5000, 0.1, 0.05)
+        assert strategy == "grid"
+        assert costs["grid"] < costs["all-pairs"] < costs["index"]
+
+    def test_sparse_all_prefers_bounds_checking(self):
+        strategy, _, costs = choose_strategy("all", 5000, 0.1, 0.05)
+        assert strategy == "bounds-checking"
+        assert costs["bounds-checking"] < costs["all-pairs"]
+
+    def test_dense_all_prefers_bounds_checking(self):
+        strategy, _, _ = choose_strategy("all", 5000, 100.0, 1.5)
+        assert strategy == "bounds-checking"
+
+    def test_zero_eps_any_never_picks_grid(self):
+        # eps=0 degenerates to equality grouping; the grid has no cell size
+        strategy, _, costs = choose_strategy("any", 5000, 0.0, 0.0)
+        assert strategy != "grid"
+        assert "grid" not in costs
+
+    def test_no_density_uses_moderate_default(self):
+        strategy, _, _ = choose_strategy("any", 5000, None, 0.5)
+        assert strategy in ("all-pairs", "grid", "index")
+
+
+class TestChooseParallel:
+    def test_single_cpu_stays_serial(self):
+        assert choose_parallel(100_000, 16, cpu_count=1) == 0
+
+    def test_needs_multiple_partitions(self):
+        assert choose_parallel(100_000, 1, cpu_count=8) == 0
+        assert choose_parallel(100_000, None, cpu_count=8) == 0
+
+    def test_small_input_stays_serial(self):
+        assert choose_parallel(100, 16, cpu_count=8) == 0
+
+    def test_capped_by_cpus_and_partitions(self):
+        assert choose_parallel(100_000, 4, cpu_count=8) == 4
+        assert choose_parallel(100_000, 64, cpu_count=8) == 8
+
+
+class TestResolveSGBChoice:
+    def test_flag_override_wins(self):
+        choice = resolve_sgb_choice("any", "grid", 0.5, 10_000.0, 2.0,
+                                    None, None)
+        assert choice.strategy == "grid"
+        assert choice.source == "flag"
+
+    def test_no_stats_falls_back_to_default(self):
+        choice = resolve_sgb_choice("any", AUTO, 0.5, None, None, None, None)
+        assert choice.source == "default"
+        assert choice.strategy == "index"
+
+    def test_stats_drive_the_choice(self):
+        choice = resolve_sgb_choice("all", AUTO, 0.05, 5000.0, 0.1,
+                                    None, None)
+        assert choice.source == "stats"
+        assert choice.strategy == "bounds-checking"
+        assert choice.costs  # ranked costs recorded for EXPLAIN / debugging
+
+    def test_configured_parallel_respected(self):
+        choice = resolve_sgb_choice("any", AUTO, 0.5, 5000.0, 1.0, 3, 8.0)
+        assert choice.parallel == 3
