@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Index-layer benchmark: bulk loading, curve presorting, batch probes.
+
+Three sections, written to ``BENCH_index.json``:
+
+* **build** — R-tree construction: STR bulk loading and Hilbert-packed
+  bulk loading against insert-at-a-time Guttman construction, plus grid
+  bulk build with and without Hilbert presorting.  Gate: STR must beat
+  incremental construction by ``--min-build-speedup`` (default 5x).
+* **probe** — end-to-end SGB-Any wall clock per strategy (the batch
+  index family against the incremental R-tree baseline).  Gate: the
+  k-d tree strategy must beat the ``index`` baseline by
+  ``--min-probe-speedup`` (default 2x).
+* **parity** — group memberships across every SGB-Any strategy and both
+  kernel backends must be bit-identical.  Gate: any mismatch fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_index.py [--quick]
+        [--n N] [--repeats R] [--out BENCH_index.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import kernels  # noqa: E402
+from repro.bench.experiments import uniform_points  # noqa: E402
+from repro.bench.harness import bench_stamp  # noqa: E402
+from repro.core.api import sgb_any  # noqa: E402
+from repro.geometry.rectangle import Rect  # noqa: E402
+from repro.index.grid import GridIndex  # noqa: E402
+from repro.index.rtree import RTree  # noqa: E402
+
+STRATEGIES = ["index", "grid", "kdtree", "rtree-bulk", "hilbert-grid"]
+EPS = 1.0
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    return best
+
+
+def bench_build(points, repeats):
+    entries = [(Rect.from_point(p), i) for i, p in enumerate(points)]
+
+    def incremental():
+        tree = RTree(max_entries=16)
+        for rect, i in entries:
+            tree.insert(rect, i)
+
+    times = {
+        "incremental": _best_of(repeats, incremental),
+        "str": _best_of(
+            repeats, lambda: RTree.bulk_load(entries, max_entries=16)
+        ),
+        "hilbert": _best_of(
+            repeats,
+            lambda: RTree.bulk_load(entries, max_entries=16,
+                                    presort="hilbert"),
+        ),
+        "grid_bulk_hilbert": _best_of(
+            repeats,
+            lambda: GridIndex.bulk_build(
+                [(p, i) for i, p in enumerate(points)], cell_size=EPS
+            ),
+        ),
+        "grid_bulk_unsorted": _best_of(
+            repeats,
+            lambda: GridIndex.bulk_build(
+                [(p, i) for i, p in enumerate(points)], cell_size=EPS,
+                presort="none",
+            ),
+        ),
+    }
+    return {
+        "n": len(points),
+        "times_s": times,
+        "str_speedup": times["incremental"] / times["str"],
+        "hilbert_speedup": times["incremental"] / times["hilbert"],
+    }
+
+
+def bench_probe(points, repeats):
+    times = {}
+    groups = {}
+    for strategy in STRATEGIES:
+        times[strategy] = _best_of(
+            repeats, lambda s=strategy: sgb_any(points, EPS, "l2", s)
+        )
+        groups[strategy] = sgb_any(points, EPS, "l2", strategy).n_groups
+    assert len(set(groups.values())) == 1, groups
+    baseline = times["index"]
+    return {
+        "n": len(points),
+        "eps": EPS,
+        "times_s": times,
+        "n_groups": groups["index"],
+        "speedup_vs_index": {
+            s: baseline / t for s, t in times.items() if s != "index"
+        },
+    }
+
+
+def bench_parity(n):
+    points = uniform_points(n, seed=7)
+    labels = {}
+    for backend in kernels.available_backends():
+        with kernels.use_backend(backend):
+            for strategy in ["all-pairs"] + STRATEGIES:
+                labels[(backend, strategy)] = sgb_any(
+                    points, EPS, "l2", strategy
+                ).labels
+    reference = next(iter(labels.values()))
+    mismatches = sorted(
+        f"{backend}/{strategy}"
+        for (backend, strategy), got in labels.items()
+        if got != reference
+    )
+    return {
+        "n": n,
+        "backends": list(kernels.available_backends()),
+        "strategies": ["all-pairs"] + STRATEGIES,
+        "identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="points for build/probe (default 20000; "
+                             "2000 with --quick)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats, best-of (default 2; "
+                             "1 with --quick)")
+    parser.add_argument("--min-build-speedup", type=float, default=5.0,
+                        help="required STR-vs-incremental build speedup")
+    parser.add_argument("--min-probe-speedup", type=float, default=2.0,
+                        help="required kdtree-vs-index SGB-Any speedup")
+    parser.add_argument("--out", type=str, default=None,
+                        help="output JSON path (default: BENCH_index.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    n = args.n or (2000 if args.quick else 20000)
+    repeats = args.repeats or (1 if args.quick else 2)
+    parity_n = 500 if args.quick else 1500
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_index.json"
+    )
+
+    points = uniform_points(n)
+    build = bench_build(points, repeats)
+    print(
+        f"[build] n={n} "
+        + " ".join(f"{k}={v * 1000:.1f}ms"
+                   for k, v in build["times_s"].items())
+        + f" str_speedup={build['str_speedup']:.1f}x"
+    )
+    probe = bench_probe(points, repeats)
+    print(
+        f"[probe] n={n} eps={EPS} "
+        + " ".join(f"{k}={v * 1000:.1f}ms"
+                   for k, v in probe["times_s"].items())
+        + f" kdtree_speedup={probe['speedup_vs_index']['kdtree']:.1f}x"
+    )
+    parity = bench_parity(parity_n)
+    print(
+        f"[parity] n={parity_n} backends={parity['backends']} "
+        f"identical={parity['identical']}"
+    )
+
+    failures = []
+    if build["str_speedup"] < args.min_build_speedup:
+        failures.append(
+            f"STR bulk load speedup {build['str_speedup']:.2f}x "
+            f"< {args.min_build_speedup}x"
+        )
+    kd_speedup = probe["speedup_vs_index"]["kdtree"]
+    if kd_speedup < args.min_probe_speedup:
+        failures.append(
+            f"kdtree SGB-Any speedup {kd_speedup:.2f}x "
+            f"< {args.min_probe_speedup}x"
+        )
+    if not parity["identical"]:
+        failures.append(f"membership mismatches: {parity['mismatches']}")
+
+    payload = {
+        "benchmark": "index-layer",
+        "stamp": bench_stamp(),
+        "config": {
+            "n": n,
+            "parity_n": parity_n,
+            "eps": EPS,
+            "repeats": repeats,
+            "quick": args.quick,
+            "min_build_speedup": args.min_build_speedup,
+            "min_probe_speedup": args.min_probe_speedup,
+        },
+        "build": build,
+        "probe": probe,
+        "parity": parity,
+        "summary": {"all_ok": not failures, "failures": failures},
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

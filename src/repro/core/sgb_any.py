@@ -12,12 +12,30 @@ Strategies for ``FindCandidateGroups``:
   Union-Find forest tracks created/merged groups (Procedure 9);
 * :class:`GridAnyStrategy` — ablation: a uniform hash grid instead of the
   R-tree (same window-query contract).
+
+Because SGB-Any groups are the connected components of the ε-graph, they
+do not depend on the order points are processed in — which admits a
+second family of *batch* strategies that defer all probing to
+``finalize``: build a static index over the complete point set once,
+then answer every point's ε-neighborhood as vectorized blocks:
+
+* :class:`KDTreeAnyStrategy` — a bucketed k-d tree; each leaf's members
+  are verified against the leaf's ε-expanded window candidates in one
+  :func:`repro.kernels.batch_eps_neighbors` call;
+* :class:`STRBulkAnyStrategy` — an STR bulk-loaded (packed) R-tree
+  probed in Hilbert order with bulk leaf verification;
+* :class:`HilbertGridAnyStrategy` — a Hilbert-bulk-built uniform grid
+  probed in curve order.
+
+All strategies, incremental and batch, produce bit-identical group
+memberships; the batch ones exist purely to make the probe phase faster
+(see ``benchmarks/bench_index.py``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro import kernels
 from repro.core.distance import Metric, resolve_metric
@@ -43,6 +61,10 @@ class _AnyStrategyBase:
     """
 
     name = "abstract"
+    #: Batch strategies defer all probing to ``finalize`` — the operator
+    #: skips the per-point ``neighbors`` call and drains
+    #: :meth:`batch_neighbors` once every point has been inserted.
+    batch = False
 
     def __init__(self, eps: float, metric: Metric):
         self.eps = eps
@@ -53,6 +75,17 @@ class _AnyStrategyBase:
         raise NotImplementedError
 
     def insert(self, point_id: int, point: Point) -> None:
+        raise NotImplementedError
+
+    def batch_neighbors(self) -> "Iterable[Tuple[int, List[int]]]":
+        """Yield ``(point_id, ε-neighbor ids)`` over all inserted points.
+
+        Only meaningful on batch strategies (``batch = True``).  Neighbor
+        lists are computed against the *complete* point set (self
+        excluded); since SGB-Any components are order-independent, the
+        resulting union-find forest matches the incremental strategies'
+        exactly.
+        """
         raise NotImplementedError
 
 
@@ -168,6 +201,182 @@ class GridAnyStrategy(_AnyStrategyBase):
         self._store.append(point)
 
 
+class _BatchAnyStrategyBase(_AnyStrategyBase):
+    """Shared spool for the deferred (batch) strategies.
+
+    ``insert`` only appends; the index is built and probed in one pass
+    when the operator finalizes and drains :meth:`batch_neighbors`.
+    """
+
+    batch = True
+
+    def __init__(self, eps: float, metric: Metric):
+        super().__init__(eps, metric)
+        self._points: List[Point] = []
+
+    def insert(self, point_id: int, point: Point) -> None:
+        assert point_id == len(self._points), "ids must be dense and ordered"
+        self._points.append(point)
+
+    def neighbors(self, point: Point) -> List[int]:
+        raise RuntimeError(
+            f"strategy {self.name!r} is batch-only; probes run at finalize"
+        )
+
+
+class KDTreeAnyStrategy(_BatchAnyStrategyBase):
+    """Static bucketed k-d tree with leaf-grouped vectorized probes.
+
+    The tree is built once over all points (median splits, O(n log n)).
+    Probing walks the leaves in split order — already a spatial order —
+    and for each leaf gathers the candidates of the leaf MBR's ε-expanded
+    window *once*, then verifies every leaf member against that one
+    candidate block with a single :func:`repro.kernels.batch_eps_neighbors`
+    call.  Under the numpy backend that is one broadcasted distance
+    expression per leaf instead of one python-level probe per point.
+    """
+
+    name = "kdtree"
+
+    def __init__(self, eps: float, metric: Metric, leaf_size: int = 32):
+        super().__init__(eps, metric)
+        self._leaf_size = leaf_size
+
+    def batch_neighbors(self) -> Iterator[Tuple[int, List[int]]]:
+        from repro.index.kdtree import KDTree
+
+        pts = self._points
+        tree = KDTree.build(pts, leaf_size=self._leaf_size)
+        eps = self.eps
+        metric = self.metric
+        bag = self.metrics
+        for leaf_ids, lo, hi in tree.leaves():
+            wlo = tuple(v - eps for v in lo)
+            whi = tuple(v + eps for v in hi)
+            cand = tree.window_ids(wlo, whi)
+            cand_pts = [pts[i] for i in cand]
+            probes = [pts[i] for i in leaf_ids]
+            if bag is not None:
+                bag.incr("index_probes", len(leaf_ids))
+                bag.incr("candidates", len(cand) * len(leaf_ids))
+                t0 = time.perf_counter()
+                hits = kernels.batch_eps_neighbors(cand_pts, probes,
+                                                   eps, metric)
+                bag.observe(
+                    "distance_batch_latency", time.perf_counter() - t0
+                )
+            else:
+                hits = kernels.batch_eps_neighbors(cand_pts, probes,
+                                                   eps, metric)
+            for pid, local in zip(leaf_ids, hits):
+                yield pid, [cand[j] for j in local if cand[j] != pid]
+
+
+class STRBulkAnyStrategy(_BatchAnyStrategyBase):
+    """STR bulk-loaded R-tree probed in Hilbert order.
+
+    The packed tree replaces n Guttman inserts with one O(n log n)
+    build; probes then run in space-filling-curve order so consecutive
+    window queries descend largely the same subtrees, and each window's
+    leaf hits are verified with one vectorized pass over the point
+    store (the ``VerifyPoints`` step of Procedure 8).
+    """
+
+    name = "rtree-bulk"
+
+    def __init__(self, eps: float, metric: Metric,
+                 rtree_max_entries: int = 16):
+        super().__init__(eps, metric)
+        self._max_entries = rtree_max_entries
+
+    def batch_neighbors(self) -> Iterator[Tuple[int, List[int]]]:
+        from repro.index.hilbert import sort_indices
+
+        pts = self._points
+        tree = RTree.bulk_load(
+            [(Rect.from_point(p), i) for i, p in enumerate(pts)],
+            max_entries=self._max_entries,
+        )
+        store = kernels.make_point_store()
+        for p in pts:
+            store.append(p)
+        eps = self.eps
+        metric = self.metric
+        linf = metric.name == "linf"
+        bag = self.metrics
+        for pid in sort_indices(pts):
+            point = pts[pid]
+            hits = tree.search(Rect.eps_box(point, eps))
+            if bag is not None:
+                bag.incr("index_probes")
+                bag.incr("candidates", len(hits))
+            if linf:
+                yield pid, [i for i in hits if i != pid]
+                continue
+            if bag is not None:
+                t0 = time.perf_counter()
+                verified = store.query_ids(hits, point, eps, metric)
+                bag.observe(
+                    "distance_batch_latency", time.perf_counter() - t0
+                )
+            else:
+                verified = store.query_ids(hits, point, eps, metric)
+            yield pid, [i for i in verified if i != pid]
+
+
+class HilbertGridAnyStrategy(_BatchAnyStrategyBase):
+    """Hilbert-bulk-built uniform grid probed in curve order.
+
+    Same cell-neighbourhood probe as :class:`GridAnyStrategy`, but the
+    grid's buckets are allocated in space-filling-curve order and the
+    probe loop walks the same order, so the gather phase revisits
+    adjacent buckets instead of hopping across the hash table.
+    """
+
+    name = "hilbert-grid"
+
+    def __init__(self, eps: float, metric: Metric):
+        if eps <= 0:
+            raise InvalidParameterError(
+                "the hilbert-grid strategy requires eps > 0 (cell side is eps)"
+            )
+        super().__init__(eps, metric)
+
+    def batch_neighbors(self) -> Iterator[Tuple[int, List[int]]]:
+        from repro.index.hilbert import sort_indices
+
+        pts = self._points
+        grid = GridIndex.bulk_build(
+            [(p, i) for i, p in enumerate(pts)],
+            cell_size=self.eps, presort="hilbert",
+        )
+        store = kernels.make_point_store()
+        for p in pts:
+            store.append(p)
+        eps = self.eps
+        metric = self.metric
+        bag = self.metrics
+        count = bag is not None or hasattr(metric, "calls")
+        for pid in sort_indices(pts):
+            point = pts[pid]
+            ids = grid.items_in_cell_range(Rect.eps_box(point, eps))
+            if bag is not None:
+                t0 = time.perf_counter()
+                result, n_window = store.query_ids_eps_box(
+                    ids, point, eps, metric, count=count
+                )
+                bag.observe(
+                    "distance_batch_latency", time.perf_counter() - t0
+                )
+                bag.incr("index_probes")
+                bag.incr("candidates", n_window)
+            else:
+                result, _ = store.query_ids_eps_box(
+                    ids, point, eps, metric, count=count
+                )
+            yield pid, [i for i in result if i != pid]
+
+
 _STRATEGIES = {
     "all-pairs": NaiveAnyStrategy,
     "allpairs": NaiveAnyStrategy,
@@ -176,6 +385,11 @@ _STRATEGIES = {
     "indexed": RTreeAnyStrategy,
     "rtree": RTreeAnyStrategy,
     "grid": GridAnyStrategy,
+    "kdtree": KDTreeAnyStrategy,
+    "kd-tree": KDTreeAnyStrategy,
+    "rtree-bulk": STRBulkAnyStrategy,
+    "str": STRBulkAnyStrategy,
+    "hilbert-grid": HilbertGridAnyStrategy,
 }
 
 
@@ -217,13 +431,18 @@ class SGBAnyOperator:
                 f"unknown strategy {strategy!r}; expected one of "
                 f"{sorted(set(_STRATEGIES))}"
             ) from None
-        if strategy_cls is GridAnyStrategy and self.eps == 0:
+        if (strategy_cls in (GridAnyStrategy, HilbertGridAnyStrategy)
+                and self.eps == 0):
             # eps == 0 degenerates to equality grouping, which the grid
             # cannot express (the cell side is eps); the naive scan gives
             # identical components, so quietly take that path instead.
             strategy_cls = NaiveAnyStrategy
         if strategy_cls is RTreeAnyStrategy:
             self._strategy: _AnyStrategyBase = RTreeAnyStrategy(
+                self.eps, self.metric, rtree_max_entries
+            )
+        elif strategy_cls is STRBulkAnyStrategy:
+            self._strategy = STRBulkAnyStrategy(
                 self.eps, self.metric, rtree_max_entries
             )
         else:
@@ -269,6 +488,12 @@ class SGBAnyOperator:
         if bag is not None:
             bag.incr("points")
             bag.incr("groups_created")
+        if self._strategy.batch:
+            # Deferred strategy: probes run once, at finalize, over the
+            # complete point set (components are order-independent).
+            self._strategy.insert(pid, pt)
+            return
+        if bag is not None:
             before = self._uf.n_components
             t0 = time.perf_counter()
             neighbors = self._strategy.neighbors(pt)
@@ -294,6 +519,8 @@ class SGBAnyOperator:
         if self._finalized:
             raise RuntimeError("operator already finalized")
         self._finalized = True
+        if self._strategy.batch and self._points:
+            self._run_batch_probe()
         if self.metrics is not None:
             self.metrics.incr(
                 "distance_computations", getattr(self.metric, "calls", 0)
@@ -309,3 +536,20 @@ class SGBAnyOperator:
                 labels.append(root_to_label[root])
             sp.set(groups=len(root_to_label))
         return GroupingResult(labels, self._points)
+
+    def _run_batch_probe(self) -> None:
+        """Drain a batch strategy's deferred probe pass into the forest."""
+        bag = self.metrics
+        uf = self._uf
+        with maybe_span(self.tracer, "probe_batch",
+                        strategy=self.strategy_name,
+                        points=len(self._points)):
+            if bag is not None:
+                before = uf.n_components
+                t0 = time.perf_counter()
+            for pid, neighbors in self._strategy.batch_neighbors():
+                for nb in neighbors:
+                    uf.union(pid, nb)
+            if bag is not None:
+                bag.observe("probe_latency", time.perf_counter() - t0)
+                bag.incr("groups_merged", before - uf.n_components)

@@ -39,7 +39,7 @@ class _Internal:
 class BPlusTree:
     """B+tree over (key, value) pairs with duplicate keys allowed."""
 
-    def __init__(self, order: int = 32):
+    def __init__(self, order: int = 32) -> None:
         if order < 4:
             raise InvalidParameterError("order must be >= 4")
         self._order = order
@@ -63,7 +63,8 @@ class BPlusTree:
             self._root = new_root
         self._size += 1
 
-    def _insert(self, node: Any, key: Any, value: Any):
+    def _insert(self, node: Any, key: Any,
+                value: Any) -> Optional[Tuple[Any, Any]]:
         if isinstance(node, _Leaf):
             idx = bisect.bisect_right(node.keys, key)
             node.keys.insert(idx, key)

@@ -1,0 +1,255 @@
+"""A static bucketed k-d tree for batch ε-neighborhood probes.
+
+The Guttman R-tree earns its keep when the index must absorb inserts and
+deletes mid-query (SGB-All group rectangles, streaming ingest).  The
+batch SGB-Any probe phase has no such requirement: every point is known
+before the first probe runs, groups are the connected components of the
+ε-graph and therefore independent of processing order, so the index can
+be built *once*, perfectly balanced, and queried read-only.  A k-d tree
+built by median splits is the textbook structure for that shape: O(n
+log n) construction, O(log n + candidates) window gathers, no rectangle
+objects, no re-balancing machinery.
+
+Design choices, all in service of the vectorized kernels layer:
+
+* **Bucket leaves** — recursion stops at ``leaf_size`` points; a leaf is
+  a contiguous slice of one shared id array.  Window queries gather whole
+  leaf slices without per-point tests, handing verification to the batch
+  kernels (:func:`repro.kernels.batch_eps_neighbors`) as one block.
+* **Positional median splits** — segments split at the middle of the
+  sorted order (not by value), so the tree is balanced even under heavy
+  duplicate coordinates; a segment with zero spread in every dimension
+  becomes a leaf regardless of size.
+* **Leaf MBRs** — each leaf stores its tight bounding box, letting the
+  batch SGB-Any strategy issue *one* ε-expanded window gather per leaf
+  and verify the whole leaf's probes against it in a single kernel call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError
+
+Point = Tuple[float, ...]
+
+#: Default bucket capacity: big enough that gathered candidate blocks
+#: amortize a kernel dispatch, small enough that a leaf's ε-window stays
+#: local.  Matches the numpy backend's vectorization break-even region.
+DEFAULT_LEAF_SIZE = 32
+
+
+class _Node:
+    """One tree node; ``dim < 0`` marks a leaf owning ``ids[start:end]``."""
+
+    __slots__ = ("dim", "value", "left", "right", "start", "end",
+                 "lo", "hi")
+
+    def __init__(self) -> None:
+        self.dim = -1
+        self.value = 0.0
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.start = 0
+        self.end = 0
+        self.lo: Point = ()
+        self.hi: Point = ()
+
+
+class KDTree:
+    """Read-only k-d tree over a fixed point set with dense ids.
+
+    Ids are input positions (0..n-1), matching how every SGB strategy
+    numbers processed points.  Build with :meth:`build`; the constructor
+    is internal.
+    """
+
+    def __init__(self, points: List[Point], ids: List[int],
+                 root: Optional[_Node], leaf_size: int) -> None:
+        self._points = points
+        self._ids = ids
+        self._root = root
+        self._leaf_size = leaf_size
+
+    @classmethod
+    def build(cls, points: Sequence[Sequence[float]],
+              leaf_size: int = DEFAULT_LEAF_SIZE) -> "KDTree":
+        """Median-split construction over all ``points`` (O(n log² n))."""
+        if leaf_size < 1:
+            raise InvalidParameterError(
+                f"leaf_size must be >= 1, got {leaf_size}"
+            )
+        pts: List[Point] = [tuple(float(v) for v in p) for p in points]
+        if pts:
+            dim = len(pts[0])
+            if dim < 1:
+                raise InvalidParameterError("points must have >= 1 dimension")
+            for p in pts:
+                if len(p) != dim:
+                    raise InvalidParameterError(
+                        f"point dimension {len(p)} != {dim}"
+                    )
+        ids = list(range(len(pts)))
+        tree = cls(pts, ids, None, leaf_size)
+        if pts:
+            tree._root = tree._build(0, len(pts))
+        return tree
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _segment_bounds(self, start: int, end: int) -> Tuple[Point, Point]:
+        pts = self._points
+        ids = self._ids
+        first = pts[ids[start]]
+        lo = list(first)
+        hi = list(first)
+        for i in range(start + 1, end):
+            p = pts[ids[i]]
+            for d, v in enumerate(p):
+                if v < lo[d]:
+                    lo[d] = v
+                elif v > hi[d]:
+                    hi[d] = v
+        return tuple(lo), tuple(hi)
+
+    def _build(self, start: int, end: int) -> _Node:
+        node = _Node()
+        lo, hi = self._segment_bounds(start, end)
+        node.lo, node.hi = lo, hi
+        count = end - start
+        if count <= self._leaf_size:
+            node.start, node.end = start, end
+            return node
+        # Split along the widest dimension; zero spread everywhere means
+        # the segment is one repeated point — keep it as a fat leaf.
+        spreads = [h - l for l, h in zip(lo, hi)]
+        split_dim = max(range(len(spreads)), key=lambda d: spreads[d])
+        if spreads[split_dim] <= 0.0:
+            node.start, node.end = start, end
+            return node
+        pts = self._points
+        seg = self._ids[start:end]
+        seg.sort(key=lambda i: pts[i][split_dim])
+        self._ids[start:end] = seg
+        mid = start + count // 2
+        node.dim = split_dim
+        node.value = pts[self._ids[mid]][split_dim]
+        node.left = self._build(start, mid)
+        node.right = self._build(mid, end)
+        return node
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def window_ids(self, lo: Sequence[float],
+                   hi: Sequence[float]) -> List[int]:
+        """Candidate ids from every leaf overlapping ``[lo, hi]``.
+
+        This is the *gather* half of a window query: whole leaf slices
+        are returned without per-point containment tests, mirroring
+        :meth:`repro.index.grid.GridIndex.items_in_cell_range` so callers
+        verify candidates in one vectorized kernel pass.
+        """
+        root = self._root
+        if root is None:
+            return []
+        out: List[int] = []
+        ids = self._ids
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nlo, nhi = node.lo, node.hi
+            if any(
+                h < wl or l > wh
+                for l, h, wl, wh in zip(nlo, nhi, lo, hi)
+            ):
+                continue  # node MBR disjoint from the window
+            if node.dim < 0:
+                out.extend(ids[node.start:node.end])
+                continue
+            d = node.dim
+            left = node.left
+            right = node.right
+            assert left is not None and right is not None
+            if lo[d] <= node.value:
+                stack.append(left)
+            if hi[d] >= node.value:
+                stack.append(right)
+        return out
+
+    def eps_candidates(self, point: Sequence[float], eps: float) -> List[int]:
+        """Candidate ids for the ε-box window around ``point``."""
+        lo = tuple(v - eps for v in point)
+        hi = tuple(v + eps for v in point)
+        return self.window_ids(lo, hi)
+
+    def leaves(self) -> Iterator[Tuple[List[int], Point, Point]]:
+        """Yield ``(member ids, mbr lo, mbr hi)`` per leaf, left to right.
+
+        Leaves come out in split order, which is already a spatial order —
+        consecutive leaves are neighbours — so batch consumers that walk
+        this iterator probe the tree with strong locality.
+        """
+        root = self._root
+        if root is None:
+            return
+        ids = self._ids
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.dim < 0:
+                yield ids[node.start:node.end], node.lo, node.hi
+                continue
+            assert node.left is not None and node.right is not None
+            stack.append(node.right)
+            stack.append(node.left)
+
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root) — exposed for tests."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.dim < 0:
+                return 1
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on structural violations (tests only)."""
+        root = self._root
+        if root is None:
+            assert len(self._points) == 0
+            return
+        seen: List[int] = []
+
+        def walk(node: _Node) -> None:
+            if node.dim < 0:
+                assert node.start < node.end, "empty leaf"
+                for i in range(node.start, node.end):
+                    pid = self._ids[i]
+                    seen.append(pid)
+                    p = self._points[pid]
+                    assert all(
+                        l <= v <= h
+                        for v, l, h in zip(p, node.lo, node.hi)
+                    ), "leaf MBR does not cover member"
+                return
+            left, right = node.left, node.right
+            assert left is not None and right is not None
+            assert left.hi[node.dim] <= node.value, (
+                "left subtree crosses the split plane"
+            )
+            assert right.lo[node.dim] >= node.value, (
+                "right subtree crosses the split plane"
+            )
+            walk(left)
+            walk(right)
+
+        walk(root)
+        assert sorted(seen) == list(range(len(self._points))), (
+            "leaves do not partition the id space"
+        )

@@ -135,6 +135,18 @@ def any_within(points: Sequence[Coords], q: Coords, eps: float,
     return _impl.any_within(points, q, eps, metric)
 
 
+def batch_window_query(points: Sequence[Coords], lo: Coords,
+                       hi: Coords) -> List[int]:
+    """Ascending indices of block points inside the closed box."""
+    return _impl.batch_window_query(points, lo, hi)
+
+
+def batch_eps_neighbors(points: Sequence[Coords], probes: Sequence[Coords],
+                        eps: float, metric: MetricLike) -> List[List[int]]:
+    """Per-probe ascending indices of block points within ``eps``."""
+    return _impl.batch_eps_neighbors(points, probes, eps, metric)
+
+
 def make_point_store() -> Any:
     """Backend-native append-only point collection (dense ids)."""
     return _impl.make_point_store()
@@ -165,6 +177,8 @@ __all__ = [
     "points_in_rect",
     "all_within",
     "any_within",
+    "batch_window_query",
+    "batch_eps_neighbors",
     "make_point_store",
     "make_rect_store",
     "make_group_block",

@@ -116,6 +116,52 @@ def points_in_rect(points: Sequence[Coords], lo: Coords,
     return mask.tolist()
 
 
+def batch_window_query(points: Sequence[Coords], lo: Coords,
+                       hi: Coords) -> List[int]:
+    """Ascending indices of ``points`` inside the closed box ``[lo, hi]``."""
+    coords = np.asarray(points, dtype=np.float64)
+    if coords.size == 0:
+        return []
+    lo_a = np.asarray(lo, dtype=np.float64)
+    hi_a = np.asarray(hi, dtype=np.float64)
+    mask = ((coords >= lo_a) & (coords <= hi_a)).all(axis=1)
+    return np.flatnonzero(mask).tolist()
+
+
+def batch_eps_neighbors(points: Sequence[Coords], probes: Sequence[Coords],
+                        eps: float, metric: MetricLike) -> List[List[int]]:
+    """Per-probe ascending indices of ``points`` within ``eps``.
+
+    One broadcasted ``(m, n, d)`` distance expression per call — the
+    block shapes the batch strategies feed (a leaf's probes × its
+    ε-window candidates) stay small enough that the full matrix beats m
+    separate kernel launches.  Charges the counting metric ``m * n``
+    pairs, matching the python backend's no-early-exit loops.
+    """
+    m = len(probes)
+    n = len(points)
+    if m == 0 or n == 0:
+        return [[] for _ in range(m)]
+    kind, p = _metric_kind(metric)
+    if kind == "other" or m * n < SMALL_BLOCK:
+        within = metric.within
+        return [
+            [i for i, pt in enumerate(points) if within(pt, q, eps)]
+            for q in probes
+        ]
+    coords = np.asarray(points, dtype=np.float64)
+    qs = np.asarray(probes, dtype=np.float64)
+    diff = qs[:, None, :] - coords[None, :, :]
+    if kind == "l2":
+        mask = np.einsum("ijk,ijk->ij", diff, diff) <= eps * eps
+    elif kind == "linf":
+        mask = np.abs(diff).max(axis=2) <= eps
+    else:  # lp
+        mask = (np.abs(diff) ** p).sum(axis=2) <= eps**p
+    _charge(metric, m * n)
+    return [np.flatnonzero(mask[j]).tolist() for j in range(m)]
+
+
 def all_within(points: Sequence[Coords], q: Coords, eps: float,
                metric: MetricLike) -> bool:
     if len(points) < SMALL_BLOCK:

@@ -4,7 +4,10 @@ The streaming engine only ever asks one question: *which already-ingested
 points lie within ε of this new point?*  Both indexes answer it with the
 same filter-refine shape the batch operator uses (paper Procedure 8): an
 ε-box window query, exact for L∞ because the box *is* the L∞ ball, followed
-by exact verification under any other metric.
+by exact verification under any other metric.  Verification runs as one
+:func:`repro.kernels.pairwise_within` call over the gathered candidates —
+vectorized under the numpy backend — instead of a per-candidate python
+loop.
 
 Unlike the batch strategies these adapters report their work: ``probe``
 returns the raw candidate count alongside the verified neighbor ids, so the
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro import kernels
 from repro.core.distance import Metric
 from repro.errors import InvalidParameterError
 from repro.geometry.rectangle import Rect
@@ -63,11 +67,10 @@ class GridNeighborIndex(NeighborIndex):
         hits = self._grid.search_with_points(Rect.eps_box(point, self.eps))
         if self.metric.name == "linf":
             return len(hits), [pid for _, pid in hits]
-        within = self.metric.within
-        eps = self.eps
-        return len(hits), [
-            pid for pt, pid in hits if within(point, pt, eps)
-        ]
+        mask = kernels.pairwise_within(
+            [pt for pt, _ in hits], point, self.eps, self.metric
+        )
+        return len(hits), [pid for (_, pid), ok in zip(hits, mask) if ok]
 
     def insert(self, point_id: int, point: Point) -> None:
         self._grid.insert(point, point_id)
@@ -90,11 +93,10 @@ class RTreeNeighborIndex(NeighborIndex):
         hits = self._rtree.search_with_rects(Rect.eps_box(point, self.eps))
         if self.metric.name == "linf":
             return len(hits), [pid for _, pid in hits]
-        within = self.metric.within
-        eps = self.eps
-        return len(hits), [
-            pid for rect, pid in hits if within(point, rect.lo, eps)
-        ]
+        mask = kernels.pairwise_within(
+            [rect.lo for rect, _ in hits], point, self.eps, self.metric
+        )
+        return len(hits), [pid for (_, pid), ok in zip(hits, mask) if ok]
 
     def insert(self, point_id: int, point: Point) -> None:
         self._rtree.insert(Rect.from_point(point), point_id)
@@ -114,11 +116,9 @@ class LinearNeighborIndex(NeighborIndex):
         self._points: List[Point] = []
 
     def probe(self, point: Point) -> Tuple[int, List[int]]:
-        within = self.metric.within
-        eps = self.eps
-        return len(self._points), [
-            i for i, q in enumerate(self._points) if within(point, q, eps)
-        ]
+        return len(self._points), kernels.neighbors_in_eps(
+            self._points, point, self.eps, self.metric
+        )
 
     def insert(self, point_id: int, point: Point) -> None:
         assert point_id == len(self._points), "ids must be dense and ordered"

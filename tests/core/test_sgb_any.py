@@ -6,7 +6,9 @@ from repro.core.api import sgb_any
 from repro.core.sgb_any import SGBAnyOperator
 from repro.errors import InvalidParameterError
 
-STRATEGIES = ["all-pairs", "index", "grid"]
+STRATEGIES = [
+    "all-pairs", "index", "grid", "kdtree", "rtree-bulk", "hilbert-grid",
+]
 
 
 class TestParameterValidation:
@@ -16,13 +18,17 @@ class TestParameterValidation:
 
     def test_unknown_strategy(self):
         with pytest.raises(InvalidParameterError):
-            SGBAnyOperator(eps=1, strategy="kdtree")
+            SGBAnyOperator(eps=1, strategy="voronoi")
 
     def test_grid_eps_zero_falls_back_to_naive(self):
         # eps == 0 is the equality-grouping degeneracy; the grid strategy
         # cannot represent it (cell side is eps), so the operator silently
         # takes the naive path instead of raising.
         op = SGBAnyOperator(eps=0, strategy="grid")
+        assert op.strategy_name == "all-pairs"
+
+    def test_hilbert_grid_eps_zero_falls_back_to_naive(self):
+        op = SGBAnyOperator(eps=0, strategy="hilbert-grid")
         assert op.strategy_name == "all-pairs"
 
     def test_grid_strategy_itself_rejects_eps_zero(self):

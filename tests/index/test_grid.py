@@ -61,6 +61,58 @@ class TestGridIndex:
             g.insert((i, i), i)
         assert sorted(item for _, item in g.items()) == list(range(10))
 
+    def test_delete_drops_empty_buckets(self):
+        """Regression: insert/delete churn must not leave empty cell
+        buckets behind — the cell table tracks live points exactly."""
+        g = GridIndex(1.0)
+        rng = random.Random(42)
+        pts = [(rng.uniform(-50, 50), rng.uniform(-50, 50))
+               for _ in range(1000)]
+        for i, pt in enumerate(pts):
+            g.insert(pt, i)
+        occupied = len(g._cells)
+        assert occupied > 0
+        assert all(g._cells.values()), "no bucket may be empty"
+        for i, pt in enumerate(pts):
+            assert g.delete(pt, i)
+        assert len(g) == 0
+        assert g._cells == {}, "churn left empty buckets behind"
+        # interleaved churn: the table never holds an empty bucket
+        for round_ in range(5):
+            for i, pt in enumerate(pts[:100]):
+                g.insert(pt, i)
+            assert all(g._cells.values())
+            for i, pt in enumerate(pts[:100]):
+                assert g.delete(pt, i)
+            assert g._cells == {}
+
+    def test_misses_do_not_allocate_buckets(self):
+        """Probing an absent cell must not grow the table (the old
+        defaultdict-backed table allocated a bucket per miss)."""
+        g = GridIndex(1.0)
+        g.insert((0.5, 0.5), "a")
+        assert len(g._cells) == 1
+        g.search(Rect((100, 100), (120, 120)))
+        assert not g.delete((200.0, 200.0), "ghost")
+        assert len(g._cells) == 1
+
+    def test_bulk_build_matches_incremental(self):
+        rng = random.Random(3)
+        pts = [(rng.uniform(-10, 10), rng.uniform(-10, 10))
+               for _ in range(200)]
+        items = [(pt, i) for i, pt in enumerate(pts)]
+        incremental = GridIndex(0.5)
+        for pt, i in items:
+            incremental.insert(pt, i)
+        for presort in ("hilbert", "none"):
+            bulk = GridIndex.bulk_build(items, cell_size=0.5,
+                                        presort=presort)
+            assert len(bulk) == len(incremental)
+            w = Rect((-5, -5), (5, 5))
+            assert sorted(bulk.search(w)) == sorted(incremental.search(w))
+        with pytest.raises(InvalidParameterError):
+            GridIndex.bulk_build(items, cell_size=0.5, presort="zorder")
+
     @pytest.mark.parametrize("seed", [0, 7])
     def test_fuzz_against_brute_force(self, seed):
         rng = random.Random(seed)

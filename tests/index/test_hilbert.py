@@ -1,0 +1,125 @@
+"""Space-filling-curve helper tests (repro.index.hilbert)."""
+
+import random
+
+import pytest
+
+from repro.index.hilbert import (
+    DEFAULT_ORDER,
+    curve_keys,
+    hilbert_key_2d,
+    morton_key,
+    sort_indices,
+)
+
+
+class TestHilbertKey2D:
+    def test_order_one_walk(self):
+        # The order-1 curve visits the four quadrant cells in the
+        # canonical U shape: (0,0) -> (0,1) -> (1,1) -> (1,0).
+        walk = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert [hilbert_key_2d(x, y, 1) for x, y in walk] == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_bijection(self, order):
+        side = 1 << order
+        keys = {
+            hilbert_key_2d(x, y, order)
+            for x in range(side)
+            for y in range(side)
+        }
+        assert keys == set(range(side * side))
+
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_adjacent_cells_along_curve(self, order):
+        # Consecutive keys map to 4-adjacent lattice cells — the
+        # locality property everything downstream relies on.
+        side = 1 << order
+        by_key = {}
+        for x in range(side):
+            for y in range(side):
+                by_key[hilbert_key_2d(x, y, order)] = (x, y)
+        for k in range(side * side - 1):
+            (x0, y0), (x1, y1) = by_key[k], by_key[k + 1]
+            assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+
+class TestMortonKey:
+    def test_interleaving(self):
+        # cell (1, 1) at order 1 -> bits interleave to 0b11
+        assert morton_key((1, 1), 1) == 3
+        assert morton_key((0, 0), 1) == 0
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4])
+    def test_bijection_small(self, dim):
+        order = 2
+        side = 1 << order
+
+        def cells(prefix, d):
+            if d == 0:
+                yield tuple(prefix)
+                return
+            for v in range(side):
+                yield from cells(prefix + [v], d - 1)
+
+        keys = {morton_key(c, order) for c in cells([], dim)}
+        assert len(keys) == side ** dim
+
+
+class TestSortIndices:
+    def test_empty_and_single(self):
+        assert sort_indices([]) == []
+        assert sort_indices([(1.0, 2.0)]) == [0]
+
+    def test_permutation(self):
+        rng = random.Random(11)
+        pts = [(rng.uniform(-5, 5), rng.uniform(-5, 5)) for _ in range(200)]
+        order = sort_indices(pts)
+        assert sorted(order) == list(range(len(pts)))
+
+    def test_stable_on_duplicates(self):
+        pts = [(1.0, 1.0)] * 5 + [(2.0, 2.0)] * 3
+        order = sort_indices(pts)
+        # equal keys keep input order (stable tiebreak on index)
+        dup_a = [i for i in order if i < 5]
+        dup_b = [i for i in order if i >= 5]
+        assert dup_a == [0, 1, 2, 3, 4]
+        assert dup_b == [5, 6, 7]
+
+    def test_deterministic(self):
+        rng = random.Random(7)
+        pts = [(rng.uniform(0, 9), rng.uniform(0, 9)) for _ in range(64)]
+        assert sort_indices(pts) == sort_indices(pts)
+
+    def test_locality_beats_random_order(self):
+        # Total L2 path length through the points in curve order must be
+        # far shorter than a random visiting order — the whole point of
+        # presorting before index construction.
+        rng = random.Random(3)
+        pts = [(rng.uniform(0, 100), rng.uniform(0, 100))
+               for _ in range(400)]
+
+        def path_len(seq):
+            return sum(
+                ((pts[a][0] - pts[b][0]) ** 2
+                 + (pts[a][1] - pts[b][1]) ** 2) ** 0.5
+                for a, b in zip(seq, seq[1:])
+            )
+
+        shuffled = list(range(len(pts)))
+        rng.shuffle(shuffled)
+        assert path_len(sort_indices(pts)) < 0.25 * path_len(shuffled)
+
+    def test_degenerate_dimension(self):
+        # A constant coordinate must not break normalization.
+        pts = [(float(i), 5.0) for i in range(10)]
+        order = sort_indices(pts)
+        assert sorted(order) == list(range(10))
+
+    def test_3d_uses_morton(self):
+        rng = random.Random(5)
+        pts = [tuple(rng.uniform(0, 1) for _ in range(3))
+               for _ in range(50)]
+        keys = curve_keys(pts, DEFAULT_ORDER)
+        assert len(keys) == 50
+        assert sorted(sort_indices(pts)) == list(range(50))

@@ -1,0 +1,122 @@
+"""Static bucketed k-d tree tests (repro.index.kdtree)."""
+
+import math
+import random
+
+import pytest
+
+from repro.index.kdtree import DEFAULT_LEAF_SIZE, KDTree
+
+
+def brute_window(pts, lo, hi):
+    return sorted(
+        i for i, p in enumerate(pts)
+        if all(l <= v <= h for v, l, h in zip(p, lo, hi))
+    )
+
+
+class TestBuild:
+    def test_empty(self):
+        tree = KDTree.build([])
+        assert len(tree) == 0
+        assert tree.window_ids((0,), (1,)) == []
+
+    def test_single_point(self):
+        tree = KDTree.build([(1.0, 2.0)])
+        assert len(tree) == 1
+        assert tree.window_ids((0, 0), (2, 3)) == [0]
+        assert tree.window_ids((5, 5), (6, 6)) == []
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree.build([(0.0, 0.0)], leaf_size=0)
+
+    @pytest.mark.parametrize("n", [1, 7, 64, 500])
+    def test_invariants(self, n):
+        rng = random.Random(n)
+        pts = [(rng.uniform(-9, 9), rng.uniform(-9, 9)) for _ in range(n)]
+        tree = KDTree.build(pts)
+        tree.check_invariants()
+
+    def test_balanced_height(self):
+        rng = random.Random(1)
+        n = 4096
+        pts = [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(n)]
+        tree = KDTree.build(pts, leaf_size=16)
+        # median splits: height stays within a small constant of the
+        # information-theoretic floor
+        assert tree.height() <= math.ceil(math.log2(n / 16)) + 2
+
+    def test_all_duplicates(self):
+        # zero spread everywhere -> one fat leaf, no infinite recursion
+        pts = [(3.0, 3.0)] * 100
+        tree = KDTree.build(pts, leaf_size=8)
+        tree.check_invariants()
+        assert tree.window_ids((3, 3), (3, 3)) == list(range(100))
+
+    def test_leaves_partition_ids(self):
+        rng = random.Random(9)
+        pts = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(333)]
+        tree = KDTree.build(pts, leaf_size=DEFAULT_LEAF_SIZE)
+        seen = []
+        for ids, lo, hi in tree.leaves():
+            assert len(ids) >= 1
+            for i in ids:
+                p = pts[i]
+                assert all(l <= v <= h for v, l, h in zip(p, lo, hi))
+            seen.extend(ids)
+        assert sorted(seen) == list(range(len(pts)))
+
+
+class TestWindowQuery:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("leaf_size", [1, 4, 32])
+    def test_gather_covers_brute_force(self, seed, leaf_size):
+        # window_ids is the *gather* half of a window query: it returns
+        # whole leaf slices, so the result is a superset of the exact
+        # answer (callers verify in bulk).  With leaf_size=1 the leaf
+        # MBR is the point itself and the gather is exact.
+        rng = random.Random(seed)
+        pts = [(rng.uniform(-10, 10), rng.uniform(-10, 10))
+               for _ in range(300)]
+        tree = KDTree.build(pts, leaf_size=leaf_size)
+        for _ in range(30):
+            a = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            b = (rng.uniform(-10, 10), rng.uniform(-10, 10))
+            lo = (min(a[0], b[0]), min(a[1], b[1]))
+            hi = (max(a[0], b[0]), max(a[1], b[1]))
+            got = tree.window_ids(lo, hi)
+            assert len(got) == len(set(got)), "duplicate candidates"
+            exact = brute_window(pts, lo, hi)
+            assert set(exact) <= set(got)
+            if leaf_size == 1:
+                assert sorted(got) == exact
+
+    def test_boundaries_inclusive(self):
+        pts = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        tree = KDTree.build(pts, leaf_size=1)
+        assert sorted(tree.window_ids((1, 1), (2, 2))) == [1, 2]
+        assert sorted(tree.window_ids((0, 0), (1, 1))) == [0, 1]
+
+    def test_three_dimensional(self):
+        rng = random.Random(4)
+        pts = [tuple(rng.uniform(0, 4) for _ in range(3))
+               for _ in range(150)]
+        tree = KDTree.build(pts, leaf_size=1)
+        tree.check_invariants()
+        lo, hi = (1.0, 1.0, 1.0), (3.0, 3.0, 3.0)
+        assert sorted(tree.window_ids(lo, hi)) == brute_window(pts, lo, hi)
+
+
+class TestEpsCandidates:
+    def test_superset_of_eps_ball(self):
+        rng = random.Random(6)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(200)]
+        tree = KDTree.build(pts, leaf_size=8)
+        eps = 1.5
+        for _ in range(20):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            cand = set(tree.eps_candidates(q, eps))
+            for i, p in enumerate(pts):
+                if math.dist(p, q) <= eps:
+                    assert i in cand

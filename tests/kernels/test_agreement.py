@@ -34,7 +34,9 @@ class TestBackendAgreement:
         with kernels.use_backend(backend):
             return fn(_points(self.N, seed=13), self.EPS, **kwargs).labels
 
-    @pytest.mark.parametrize("strategy", ["all-pairs", "grid", "index"])
+    @pytest.mark.parametrize("strategy", [
+        "all-pairs", "grid", "index", "kdtree", "rtree-bulk", "hilbert-grid",
+    ])
     def test_sgb_any_labels_identical(self, strategy):
         kwargs = dict(strategy=strategy)
         assert self._labels("numpy", sgb_any, **kwargs) == \

@@ -113,6 +113,65 @@ class TestPrimitiveParity:
                                    metric)
         assert list(got) == list(expected) == []
 
+    def test_batch_eps_neighbors(self, metric):
+        pts = _random_points(90, seed=5)
+        probes = _random_points(25, seed=6)
+        expected, got = self._both(
+            "batch_eps_neighbors", pts, probes, 2.0, metric
+        )
+        assert [list(r) for r in got] == [list(r) for r in expected]
+        for row, q in zip(got, probes):
+            assert list(row) == sorted(row)
+            assert all(metric.within(pts[i], q, 2.0) for i in row)
+
+    def test_batch_eps_neighbors_counting_parity(self, metric):
+        # both backends evaluate every (probe, point) pair — no early
+        # exit — so a CountingMetric observes m*n under each.
+        pts = _random_points(40, seed=7)
+        probes = _random_points(10, seed=8)
+        calls = {}
+        for backend in kernels.available_backends():
+            counting = CountingMetric(metric)
+            with kernels.use_backend(backend):
+                kernels.batch_eps_neighbors(pts, probes, 1.5, counting)
+            calls[backend] = counting.calls
+        assert set(calls.values()) == {len(pts) * len(probes)}
+
+    def test_batch_eps_neighbors_empty(self, metric):
+        expected, got = self._both("batch_eps_neighbors", [], [(1.0, 1.0)],
+                                   1.0, metric)
+        assert [list(r) for r in got] == [list(r) for r in expected] == [[]]
+        expected, got = self._both("batch_eps_neighbors",
+                                   [(1.0, 1.0)], [], 1.0, metric)
+        assert list(got) == list(expected) == []
+
+
+class TestBatchWindowQuery:
+    def test_parity_2d_and_3d(self):
+        for dim in (2, 3):
+            pts = _random_points(120, dim=dim, seed=9)
+            lo = tuple(2.0 for _ in range(dim))
+            hi = tuple(7.5 for _ in range(dim))
+            with kernels.use_backend("python"):
+                expected = kernels.batch_window_query(pts, lo, hi)
+            assert list(expected) == sorted(expected)
+            assert all(
+                all(l <= v <= h for v, l, h in zip(pts[i], lo, hi))
+                for i in expected
+            )
+            if HAS_NUMPY:
+                with kernels.use_backend("numpy"):
+                    got = kernels.batch_window_query(pts, lo, hi)
+                assert list(got) == list(expected)
+
+    def test_closed_boundaries(self):
+        pts = [(2.0, 2.0), (7.0, 7.0), (1.999, 5.0), (7.001, 5.0)]
+        for backend in kernels.available_backends():
+            with kernels.use_backend(backend):
+                assert list(
+                    kernels.batch_window_query(pts, (2, 2), (7, 7))
+                ) == [0, 1]
+
 
 class TestPointsInRect:
     def test_parity_2d_and_3d(self):
