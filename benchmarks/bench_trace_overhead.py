@@ -15,7 +15,11 @@ Three measurements over the same SGB-Any workload:
   asserted: this is the price of turning observability on.
 
 A fourth row times the end-to-end SQL path (``Database`` SELECT) with
-``trace=False`` vs ``trace=True`` for the query-span + plan-node layer.
+``trace=False`` vs ``trace=True`` for the query-span + plan-node layer,
+and the sampling-profiler states: **profile_off** (profiler was enabled
+once, then stopped — the worst "off" case, asserted ≤ threshold vs the
+plain path because a stopped profiler must be free) and **profile_on**
+(sampler thread running; reported, not asserted).
 
 Timings use the min over rounds (the standard microbenchmark estimator —
 robust to scheduler noise on small CI boxes).
@@ -102,33 +106,59 @@ def run_on(points) -> int:
     return op.finalize().n_groups
 
 
-def time_fn(fn, points, rounds: int) -> float:
-    best = float("inf")
+def time_interleaved(fns, points, rounds: int):
+    """Min wall time per function, rounds interleaved round-robin.
+
+    Interleaving matters on small shared CI boxes: system drift (CPU
+    frequency, a neighbour waking up) then lands on *every* variant of a
+    round instead of biasing whichever variant ran last, which is what
+    the overhead *ratios* are sensitive to.
+    """
+    best = {name: float("inf") for name, _ in fns}
     for _ in range(rounds):
-        t0 = time.perf_counter()
-        fn(points)
-        best = min(best, time.perf_counter() - t0)
+        for name, fn in fns:
+            t0 = time.perf_counter()
+            fn(points)
+            best[name] = min(best[name], time.perf_counter() - t0)
     return best
 
 
 def sql_pair(n: int, rounds: int):
-    """End-to-end SELECT wall time, tracing off vs on."""
+    """End-to-end SELECT wall time: tracing off/on, profiler off/on.
+
+    ``profile_off`` uses a database whose profiler was started once and
+    then stopped — the state a user lands in after ``\\profile off`` —
+    so the measurement covers any residue a stopped profiler could
+    leave, not just the never-enabled path.
+    """
     from repro.engine.database import Database
 
     points = uniform_points(n)
-    times = {}
-    for traced in (False, True):
-        db = Database(trace=traced)
+    variants = {
+        "off": {},
+        "on": {"trace": True},
+        "profile_off": {"profile": True},
+        "profile_on": {"profile": True},
+    }
+    sql = ("SELECT count(*) FROM pts GROUP BY x, y "
+           f"DISTANCE-TO-ANY L2 WITHIN {EPS}")
+    dbs = {}
+    for name, kwargs in variants.items():
+        db = Database(**kwargs)
+        if name == "profile_off":
+            db.set_profile(False)
         db.execute("CREATE TABLE pts (x float, y float)")
         db.insert("pts", [tuple(p) for p in points])
-        sql = ("SELECT count(*) FROM pts GROUP BY x, y "
-               f"DISTANCE-TO-ANY L2 WITHIN {EPS}")
-        best = float("inf")
-        for _ in range(rounds):
+        db.query(sql)  # warmup
+        dbs[name] = db
+    times = {name: float("inf") for name in variants}
+    for _ in range(rounds):
+        for name, db in dbs.items():
             t0 = time.perf_counter()
             db.query(sql)
-            best = min(best, time.perf_counter() - t0)
-        times["on" if traced else "off"] = best
+            times[name] = min(times[name], time.perf_counter() - t0)
+    for name in ("profile_on", "profile_off"):
+        dbs[name].set_profile(False)
     return times
 
 
@@ -159,10 +189,11 @@ def main(argv=None) -> int:
     # allocator growth) are not charged to whichever runs first.
     for fn in (run_baseline, run_off, run_on):
         groups = fn(points)
-    results = {}
-    for name, fn in (("baseline", run_baseline), ("off", run_off),
-                     ("on", run_on)):
-        results[name] = time_fn(fn, points, rounds)
+    results = time_interleaved(
+        [("baseline", run_baseline), ("off", run_off), ("on", run_on)],
+        points, rounds,
+    )
+    for name in ("baseline", "off", "on"):
         print(f"[operator {name:8s}] n={n}: {results[name] * 1000:8.2f} ms")
 
     off_ratio = results["off"] / results["baseline"]
@@ -175,6 +206,12 @@ def main(argv=None) -> int:
     print(f"[sql off] {sql_times['off'] * 1000:8.2f} ms   "
           f"[sql on] {sql_times['on'] * 1000:8.2f} ms   "
           f"ratio {sql_ratio:.3f}")
+    profile_off_ratio = sql_times["profile_off"] / sql_times["off"]
+    profile_on_ratio = sql_times["profile_on"] / sql_times["off"]
+    print(f"[sql profile_off] {sql_times['profile_off'] * 1000:8.2f} ms   "
+          f"ratio {profile_off_ratio:.3f}  (threshold {args.threshold})")
+    print(f"[sql profile_on ] {sql_times['profile_on'] * 1000:8.2f} ms   "
+          f"ratio {profile_on_ratio:.3f}  (reported, not asserted)")
 
     payload = {
         "benchmark": "trace-overhead",
@@ -199,17 +236,27 @@ def main(argv=None) -> int:
             "off_s": sql_times["off"],
             "on_s": sql_times["on"],
             "on_vs_off": sql_ratio,
+            "profile_off_s": sql_times["profile_off"],
+            "profile_on_s": sql_times["profile_on"],
+            "profile_off_vs_off": profile_off_ratio,
+            "profile_on_vs_off": profile_on_ratio,
         },
-        "pass": off_ratio <= args.threshold,
+        "pass": (off_ratio <= args.threshold
+                 and profile_off_ratio <= args.threshold),
     }
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}")
 
+    failed = False
     if off_ratio > args.threshold:
         print(f"FAIL: tracing-off overhead {off_ratio:.4f} exceeds "
               f"{args.threshold}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if profile_off_ratio > args.threshold:
+        print(f"FAIL: profiler-off overhead {profile_off_ratio:.4f} "
+              f"exceeds {args.threshold}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -34,15 +34,23 @@ Point = Tuple[float, ...]
 #: Propagated trace context: ``(trace_id, parent_span_id)``.
 TraceContext = Tuple[str, str]
 
+#: Propagated profiler context: ``(interval_s, folded-frame prefix)``.
+#: The prefix is the dispatching side's live span path (rendered as
+#: ``span:<name>`` frames), so worker samples land under the right part
+#: of the parent flamegraph — the profiling analogue of TraceContext.
+ProfileContext = Tuple[float, Tuple[str, ...]]
+
 #: Task tuple consumed by the worker: ``(index, mode, backend, points,
-#: operator kwargs, collect metrics?, trace context or None)``.
+#: operator kwargs, collect metrics?, trace context or None, profile
+#: context or None)``.
 PartitionTask = Tuple[int, str, str, Sequence[Point], dict, bool,
-                      Optional[TraceContext]]
+                      Optional[TraceContext], Optional[ProfileContext]]
 
 #: Observability payload returned per task (empty when uninstrumented):
 #: ``counters``/``timings`` fold into the parent MetricBag, ``histograms``
 #: maps name -> LatencyHistogram.state(), ``spans`` is a list of exported
-#: SpanRecord dicts ready for ``Tracer.ingest``.
+#: SpanRecord dicts ready for ``Tracer.ingest``, ``profile`` a
+#: SamplingProfiler.state() for ``SamplingProfiler.ingest``.
 ObsPayload = Dict[str, Any]
 
 
@@ -100,7 +108,8 @@ def run_partition(task: PartitionTask):
     skip the CountingMetric wrap and span bookkeeping exactly like the
     uninstrumented serial path.
     """
-    index, mode, backend, points, op_kwargs, want_metrics, trace_ctx = task
+    (index, mode, backend, points, op_kwargs, want_metrics, trace_ctx,
+     profile_ctx) = task
     from repro import kernels
     from repro.obs.metrics import MetricBag
 
@@ -120,15 +129,31 @@ def run_partition(task: PartitionTask):
         tracer = Tracer.for_context(
             trace_id, parent_span_id, tag=f"{parent_span_id}.p{index}."
         )
+    profiler = None
+    if profile_ctx is not None:
+        from repro.obs.profile import SamplingProfiler
+
+        interval_s, prefix = profile_ctx
+        # The worker profiler sees the *worker* tracer, so its samples
+        # carry the local span path (partition/ingest/finalize) appended
+        # to the dispatch-side prefix.
+        profiler = SamplingProfiler(
+            interval_s=interval_s, tracer=tracer, prefix=prefix
+        ).start()
     operator = make_operator(mode, metrics=bag, tracer=tracer, **op_kwargs)
-    if tracer is not None:
-        with tracer.span("partition", partition=index, points=len(points),
-                         mode=mode, pid=os.getpid()):
+    try:
+        if tracer is not None:
+            with tracer.span("partition", partition=index,
+                             points=len(points), mode=mode,
+                             pid=os.getpid()):
+                operator.add_many(points)
+                result = operator.finalize()
+        else:
             operator.add_many(points)
             result = operator.finalize()
-    else:
-        operator.add_many(points)
-        result = operator.finalize()
+    finally:
+        if profiler is not None:
+            profiler.stop()
     payload: ObsPayload = {}
     if bag is not None:
         payload["counters"] = bag.counters
@@ -139,6 +164,8 @@ def run_partition(task: PartitionTask):
             }
     if tracer is not None:
         payload["spans"] = tracer.export_records()
+    if profiler is not None and profiler.samples:
+        payload["profile"] = profiler.state()
     return index, result.labels, payload
 
 
@@ -149,6 +176,7 @@ def run_partitions(
     want_metrics: bool = False,
     trace_context: Optional[TraceContext] = None,
     cancel=None,
+    profile_context: Optional[ProfileContext] = None,
 ) -> List[Tuple[List[int], ObsPayload]]:
     """Group every ``(mode, points, operator kwargs)`` task, possibly in
     parallel, and return ``(labels, obs payload)`` per task in input order.
@@ -166,7 +194,8 @@ def run_partitions(
     interrupted mid-group), and raises the token's typed error.
     """
     payload: List[PartitionTask] = [
-        (i, mode, backend, points, op_kwargs, want_metrics, trace_context)
+        (i, mode, backend, points, op_kwargs, want_metrics, trace_context,
+         profile_context)
         for i, (mode, points, op_kwargs) in enumerate(tasks)
     ]
     results: List[Optional[Tuple[List[int], ObsPayload]]] = [None] * len(payload)
@@ -196,11 +225,14 @@ def run_partitions(
     return results  # type: ignore[return-value]
 
 
-def fold_obs_payload(payload: ObsPayload, bag=None, tracer=None) -> None:
+def fold_obs_payload(payload: ObsPayload, bag=None, tracer=None,
+                     profiler=None) -> None:
     """Fold one worker observability payload into parent collectors.
 
     ``bag`` receives counters, timings, and (merged) histograms;
-    ``tracer`` ingests the worker's span records.  Either may be None.
+    ``tracer`` ingests the worker's span records; ``profiler`` (a
+    :class:`~repro.obs.profile.SamplingProfiler`) ingests the worker's
+    collapsed-stack samples.  Any of them may be None.
     """
     if bag is not None:
         for name, value in payload.get("counters", {}).items():
@@ -214,3 +246,5 @@ def fold_obs_payload(payload: ObsPayload, bag=None, tracer=None) -> None:
                 bag.histogram(name).merge(LatencyHistogram.from_state(state))
     if tracer is not None and payload.get("spans"):
         tracer.ingest(payload["spans"])
+    if profiler is not None and payload.get("profile"):
+        profiler.ingest(payload["profile"])

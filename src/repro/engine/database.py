@@ -16,7 +16,8 @@ StatementResult(status='INSERT 3')
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cancel import CancelToken
 from repro.engine.catalog import Catalog
@@ -26,6 +27,8 @@ from repro.engine.schema import Schema
 from repro.engine.table import Table
 from repro.errors import CatalogError, InvalidParameterError, PlanningError
 from repro.obs.metrics import MetricBag
+from repro.obs.profile import SamplingProfiler
+from repro.obs.querylog import QueryLog
 from repro.obs.trace import Tracer
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse
@@ -104,6 +107,16 @@ class Database:
         node, SGB strategy phase, and worker partition emits a span into
         :attr:`tracer`, and per-node counters/histograms fold into the
         cumulative bag behind :meth:`metrics_snapshot`.
+    ``profile``
+        Start with the sampling profiler running (see :meth:`set_profile`):
+        collapsed stacks, attributed to trace spans when tracing is also
+        on, exportable as flamegraph "folded" lines.
+    ``query_log``
+        ``True`` (in-memory ring only), a path (append JSONL there too),
+        or a pre-built :class:`~repro.obs.querylog.QueryLog`.  Every
+        SELECT records plan fingerprint, chosen strategy, estimated vs
+        actual rows, and latency; estimate drift outside the log's band
+        is flagged (see :meth:`set_query_log`).
     """
 
     def __init__(
@@ -114,6 +127,8 @@ class Database:
         seed: int = 0,
         parallel: Optional[int] = None,
         trace: bool = False,
+        profile: bool = False,
+        query_log: Union[None, bool, str, QueryLog] = None,
     ):
         self.catalog = Catalog()
         self.sgb_config = SGBConfig(
@@ -146,8 +161,26 @@ class Database:
         #: then kept (with its ring buffer) across :meth:`set_trace`
         #: toggles so a dump after ``set_trace(False)`` still works.
         self.tracer: Optional[Tracer] = None
+        #: The sampling profiler; ``None`` until first enabled, then kept
+        #: (with its collected profile) across :meth:`set_profile` toggles
+        #: so a report after ``set_profile(False)`` still works.
+        self.profiler: Optional[SamplingProfiler] = None
+        #: The query log; ``None`` until enabled via the ``query_log``
+        #: ctor parameter or :meth:`set_query_log`.
+        self.query_log: Optional[QueryLog] = None
+        self._query_log_on = False
         if trace:
             self.set_trace(True)
+        if profile:
+            self.set_profile(True)
+        if query_log is not None and query_log is not False:
+            if isinstance(query_log, QueryLog):
+                self.query_log = query_log
+                self._query_log_on = True
+            elif query_log is True:
+                self.set_query_log(True)
+            else:
+                self.set_query_log(True, path=str(query_log))
 
     # ------------------------------------------------------------------
     # observability
@@ -172,6 +205,10 @@ class Database:
             self.sgb_config.trace = None
         for view in self._stream_views.values():
             view.batcher.tracer = self.sgb_config.trace
+        if self.profiler is not None:
+            # Span attribution follows the *active* tracer: samples stop
+            # carrying span prefixes the moment tracing is turned off.
+            self.profiler.tracer = self.sgb_config.trace
 
     def export_trace(self, path: str) -> int:
         """Dump buffered spans to ``path``; returns the span count.
@@ -186,6 +223,89 @@ class Database:
         if str(path).endswith(".jsonl"):
             return self.tracer.to_jsonl(path)
         return self.tracer.to_chrome_trace_file(path)
+
+    @property
+    def profile_enabled(self) -> bool:
+        return self.profiler is not None and self.profiler.running
+
+    def set_profile(self, enabled: bool = True, *,
+                    interval_s: Optional[float] = None,
+                    mode: str = "thread") -> None:
+        """Start/stop the sampling profiler for subsequent executions.
+
+        The profiler samples collapsed Python stacks in the background
+        (see :class:`~repro.obs.profile.SamplingProfiler`); with tracing
+        also enabled, samples are attributed to the live span path, and
+        partition-parallel queries fold worker-process samples back into
+        one profile.  The collected profile accumulates across toggles —
+        use :meth:`clear_profile` to reset it.
+        """
+        if enabled:
+            if self.profiler is None:
+                kwargs: Dict[str, Any] = {"mode": mode}
+                if interval_s is not None:
+                    kwargs["interval_s"] = interval_s
+                self.profiler = SamplingProfiler(
+                    tracer=self.sgb_config.trace, **kwargs
+                )
+            self.profiler.tracer = self.sgb_config.trace
+            if not self.profiler.running:
+                self.profiler.start()
+            self.sgb_config.profile = self.profiler
+        else:
+            if self.profiler is not None and self.profiler.running:
+                self.profiler.stop()
+            self.sgb_config.profile = None
+
+    def clear_profile(self) -> None:
+        if self.profiler is not None:
+            self.profiler.clear()
+
+    def profile_report(self, top: int = 15) -> str:
+        """Human-readable profile summary (per-span and hottest frames)."""
+        if self.profiler is None:
+            raise PlanningError(
+                "profiling was never enabled on this Database"
+            )
+        return self.profiler.report(top=top)
+
+    def export_profile(self, path: str) -> int:
+        """Write the collected profile as flamegraph "folded" lines;
+        returns the number of distinct stacks written."""
+        if self.profiler is None:
+            raise PlanningError(
+                "profiling was never enabled on this Database"
+            )
+        return self.profiler.to_folded_file(path)
+
+    @property
+    def query_log_enabled(self) -> bool:
+        return self._query_log_on and self.query_log is not None
+
+    def set_query_log(self, enabled: bool = True, *,
+                      path: Optional[str] = None,
+                      band: Optional[Tuple[float, float]] = None) -> None:
+        """Toggle per-query logging (plan fingerprint, estimates, drift).
+
+        Enabling with a ``path`` (or a new ``band``) replaces the current
+        log; enabling with neither keeps the existing one (creating an
+        in-memory-only log on first use).  Disabling stops recording and
+        closes the JSONL file but keeps the ring buffer, so
+        ``query_log.recent()`` and the drift summary still work.
+        """
+        if enabled:
+            if self.query_log is None or path is not None or band is not None:
+                if self.query_log is not None:
+                    self.query_log.close()
+                kwargs: Dict[str, Any] = {"path": path}
+                if band is not None:
+                    kwargs["band"] = band
+                self.query_log = QueryLog(**kwargs)
+            self._query_log_on = True
+        else:
+            self._query_log_on = False
+            if self.query_log is not None:
+                self.query_log.close()
 
     def metrics_snapshot(self) -> str:
         """One Prometheus text-format snapshot of the engine's metrics.
@@ -330,7 +450,7 @@ class Database:
                 cancel.check()
             self._acquire_statement_lock(cancel)
             try:
-                result = self._execute_statement(stmt, cancel)
+                result = self._execute_statement(stmt, cancel, sql=sql)
             finally:
                 self._lock.release()
         return result
@@ -388,13 +508,21 @@ class Database:
         stmts = parse(sql)
         if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
             raise PlanningError("explain_analyze() expects a single SELECT")
+        from repro.obs.explain import memory_tracking
+
         with self._lock:
             plan = self._planner().plan_query(stmts[0])
-            node_metrics = attach(plan, tracer=self.sgb_config.trace)
+            node_metrics = attach(plan, tracer=self.sgb_config.trace,
+                                  memory=True)
+            t0 = time.perf_counter()
             try:
-                rows = list(plan)
+                with memory_tracking():
+                    rows = list(plan)
+                latency_s = time.perf_counter() - t0
                 text = render_analyze(plan)
                 metrics = plan_metrics(plan)
+                self._log_query(sql, plan, len(rows), latency_s,
+                                node_metrics)
             finally:
                 with self._metrics_lock:
                     for nm in node_metrics:
@@ -406,15 +534,33 @@ class Database:
     def _planner(self) -> Planner:
         return Planner(self.catalog, self.sgb_config)
 
+    def _log_query(self, sql: str, plan, actual_rows: int,
+                   latency_s: float, node_metrics=None) -> None:
+        """Record one executed SELECT into the query log (if enabled)."""
+        if not (self._query_log_on and self.query_log is not None):
+            return
+        counters: Optional[Dict[str, float]] = None
+        if node_metrics:
+            counters = {}
+            for nm in node_metrics:
+                for name, value in nm.bag.counters.items():
+                    counters[name] = counters.get(name, 0) + value
+        self.query_log.record_query(
+            sql, plan, actual_rows=actual_rows, latency_s=latency_s,
+            counters=counters,
+        )
+
     def _run_select_plan(
-        self, plan, cancel: Optional[CancelToken] = None
+        self, plan, cancel: Optional[CancelToken] = None, sql: str = ""
     ) -> QueryResult:
         """Run a planned SELECT, instrumented when tracing is enabled.
 
-        With tracing off this is the plain (zero-overhead) path.  With it
-        on, the whole execution runs inside a root ``query`` span, every
-        plan node is attached with both a metric bag and the tracer, and
-        the node bags fold into the database's cumulative metrics.
+        With tracing off this is the plain (near-zero-overhead) path:
+        no per-node instrumentation, just a latency clock read for the
+        query log.  With it on, the whole execution runs inside a root
+        ``query`` span, every plan node is attached with both a metric
+        bag and the tracer, and the node bags fold into the database's
+        cumulative metrics.
         """
         with self._metrics_lock:
             self._queries += 1
@@ -422,14 +568,21 @@ class Database:
             attach_cancel(plan, cancel)
         tracer = self.sgb_config.trace
         if tracer is None:
-            return QueryResult(plan.schema.names(), plan.rows())
+            t0 = time.perf_counter()
+            rows = plan.rows()
+            self._log_query(sql, plan, len(rows),
+                            time.perf_counter() - t0)
+            return QueryResult(plan.schema.names(), rows)
         from repro.obs import attach, detach
 
         node_metrics = attach(plan, tracer=tracer)
+        t0 = time.perf_counter()
         try:
             with tracer.span("query", root=plan.describe()) as sp:
                 rows = list(plan)
                 sp.set(rows=len(rows))
+            self._log_query(sql, plan, len(rows),
+                            time.perf_counter() - t0, node_metrics)
         finally:
             with self._metrics_lock:
                 for nm in node_metrics:
@@ -438,10 +591,11 @@ class Database:
         return QueryResult(plan.schema.names(), rows)
 
     def _execute_statement(self, stmt: Any,
-                           cancel: Optional[CancelToken] = None):
+                           cancel: Optional[CancelToken] = None,
+                           sql: str = ""):
         if isinstance(stmt, (ast.Select, ast.Union)):
             plan = self._planner().plan_query(stmt)
-            return self._run_select_plan(plan, cancel)
+            return self._run_select_plan(plan, cancel, sql=sql)
         if isinstance(stmt, ast.CreateTable):
             self.catalog.create_table(
                 stmt.name,
@@ -490,11 +644,13 @@ class Database:
         plan = self._planner().plan_query(stmt.query)
         if stmt.analyze:
             from repro.obs import attach, detach, render_analyze
+            from repro.obs.explain import memory_tracking
 
-            attach(plan)
+            attach(plan, memory=True)
             try:
-                for _ in plan:
-                    pass
+                with memory_tracking():
+                    for _ in plan:
+                        pass
                 text = render_analyze(plan)
             finally:
                 detach(plan)

@@ -94,17 +94,23 @@ class SGBConfig:
     (the Database installs its tracer here when tracing is on), the SGB
     node emits strategy-phase and per-partition spans, and propagates
     trace context into parallel worker processes.
+
+    ``profile`` is an optional running
+    :class:`~repro.obs.profile.SamplingProfiler`; parallel dispatch uses
+    it to ship a profile context (interval + current span path) into
+    worker processes so their samples fold back into one flamegraph.
     """
 
     def __init__(self, all_strategy: str = "auto", any_strategy: str = "auto",
                  tiebreak: str = "random", seed: int = 0,
-                 parallel: Optional[int] = None, trace=None):
+                 parallel: Optional[int] = None, trace=None, profile=None):
         self.all_strategy = all_strategy
         self.any_strategy = any_strategy
         self.tiebreak = tiebreak
         self.seed = seed
         self.parallel = parallel
         self.trace = trace
+        self.profile = profile
 
 
 class SGBAggregate(PhysicalOperator):
@@ -231,6 +237,8 @@ class SGBAggregate(PhysicalOperator):
                 partition_order.append(pkey)
             bucket[0].append(point)
             bucket[1].append(row)
+            if bag is not None:
+                bag.incr("rows_spooled")
         return partitions, partition_order
 
     def _labels_parallel(
@@ -249,6 +257,16 @@ class SGBAggregate(PhysicalOperator):
         """
         bag = self._obs.bag if self._obs is not None else None
         tracer = self._active_tracer
+        profiler = self.config.profile
+        if profiler is not None and not profiler.running:
+            profiler = None
+        profile_context = None
+        if profiler is not None:
+            from repro.obs.profile import span_prefix_of
+
+            # Workers prepend the dispatch-side span path to every sample
+            # so their stacks nest under this node in the folded profile.
+            profile_context = (profiler.interval_s, span_prefix_of(tracer))
         tasks = [
             (self.mode, partitions[pkey][0], self._operator_kwargs(pkey))
             for pkey in partition_order
@@ -260,11 +278,13 @@ class SGBAggregate(PhysicalOperator):
             want_metrics=bag is not None,
             trace_context=tracer.context() if tracer is not None else None,
             cancel=self._cancel,
+            profile_context=profile_context,
         )
         label_lists: List[List[int]] = []
         for labels, obs_payload in results:
             label_lists.append(labels)
-            fold_obs_payload(obs_payload, bag=bag, tracer=tracer)
+            fold_obs_payload(obs_payload, bag=bag, tracer=tracer,
+                             profiler=profiler)
         return label_lists
 
     def _execute(self) -> Iterator[tuple]:
@@ -364,6 +384,8 @@ class SGBAroundAggregate(PhysicalOperator):
                     f"grouping attributes must be numeric, got {coords!r}"
                 ) from None
             spool.append(row)
+            if bag is not None:
+                bag.incr("rows_spooled")
         result = sgb_around_nd(points, self.centers, eps=self.radius,
                                metric=self.metric)
         specs = self._specs
@@ -442,6 +464,8 @@ class SGB1DAggregate(PhysicalOperator):
                     f"got {value!r}"
                 ) from None
             spool.append(row)
+            if bag is not None:
+                bag.incr("rows_spooled")
         if self.kind == "segment":
             result = sgb_segment(values, self.separation, self.diameter)
         else:

@@ -191,6 +191,10 @@ class Shell:
             return self._stream(parts[1:])
         if head == "\\trace":
             return self._trace(parts[1:])
+        if head == "\\profile":
+            return self._profile(parts[1:])
+        if head == "\\querylog":
+            return self._querylog(parts[1:])
         if head == "\\metrics":
             if self.client is not None:
                 return self.client.metrics().rstrip("\n")
@@ -207,6 +211,10 @@ class Shell:
                 "\\stream ...  incremental SGB views "
                 "(\\stream for usage)\n"
                 "\\trace ...   span tracing: on | off | dump <path>\n"
+                "\\profile ... sampling profiler: on | off | report | "
+                "dump <path>\n"
+                "\\querylog .. query log: on [path] | off | drift "
+                "(\\querylog for recent)\n"
                 "\\metrics     Prometheus text snapshot of engine metrics\n"
                 "\\connect [host] <port>  route statements to a "
                 "repro.service server\n"
@@ -293,6 +301,92 @@ class Shell:
                 return f"ERROR: {exc}"
             return f"Wrote {n} span(s) to {args[1]}."
         return usage
+
+    def _profile(self, args: List[str]) -> str:
+        """Control the embedded database's sampling profiler."""
+        usage = (
+            "usage: \\profile              show profiler state\n"
+            "       \\profile on|off      start / stop sampling\n"
+            "       \\profile report      per-span and hot-frame summary\n"
+            "       \\profile clear       drop collected samples\n"
+            "       \\profile dump <path> write flamegraph folded stacks"
+        )
+        if not args:
+            prof = self.db.profiler
+            if prof is None:
+                return "Profiling is off (never enabled)."
+            state = "on" if prof.running else "off"
+            return (
+                f"Profiling is {state} ({prof.samples} samples, "
+                f"{len(prof.counts)} distinct stacks, mode={prof.mode})."
+            )
+        if args[0] == "on":
+            self.db.set_profile(True)
+            return "Profiling is on."
+        if args[0] == "off":
+            self.db.set_profile(False)
+            return "Profiling is off."
+        if args[0] == "report":
+            try:
+                return self.db.profile_report()
+            except ReproError as exc:
+                return f"ERROR: {exc}"
+        if args[0] == "clear":
+            self.db.clear_profile()
+            return "Profile cleared."
+        if args[0] == "dump":
+            if len(args) != 2:
+                return usage
+            try:
+                n = self.db.export_profile(args[1])
+            except (ReproError, OSError) as exc:
+                return f"ERROR: {exc}"
+            return f"Wrote {n} folded stack(s) to {args[1]}."
+        return usage
+
+    def _querylog(self, args: List[str]) -> str:
+        """Control the query log and show recent / drifted queries."""
+        usage = (
+            "usage: \\querylog             show recent queries\n"
+            "       \\querylog on [path]  enable (optionally append "
+            "JSONL to path)\n"
+            "       \\querylog off        stop recording\n"
+            "       \\querylog drift      show drift-flagged queries"
+        )
+        if args:
+            if args[0] == "on":
+                if len(args) > 2:
+                    return usage
+                path = args[1] if len(args) == 2 else None
+                try:
+                    self.db.set_query_log(True, path=path)
+                except OSError as exc:
+                    return f"ERROR: {exc}"
+                where = f", logging to {path}" if path else ""
+                return f"Query log is on{where}."
+            if args[0] == "off":
+                self.db.set_query_log(False)
+                return "Query log is off."
+            if args[0] != "drift":
+                return usage
+        log = self.db.query_log
+        if log is None:
+            return "Query log is off (never enabled).\n" + usage
+        records = log.drift_records() if args else log.recent(10)
+        if not records:
+            kind = "drift-flagged" if args else "recorded"
+            return f"No {kind} queries."
+        lines = []
+        for rec in records:
+            flag = " DRIFT" if rec.drift else ""
+            ratio = f"x{rec.ratio:.2f}" if rec.ratio is not None else "-"
+            lines.append(
+                f"{rec.fingerprint}  est={rec.est_rows} "
+                f"actual={rec.actual_rows} {ratio} "
+                f"{rec.latency_ms:.1f} ms "
+                f"[{rec.strategy or '-'}]{flag}  {rec.sql[:60]}"
+            )
+        return "\n".join(lines)
 
     def _stream(self, args: List[str]) -> str:
         """Manage incremental SGB views: create, inspect, drop, list."""

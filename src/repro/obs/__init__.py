@@ -12,7 +12,10 @@ Three layers, cheapest first:
 
 :mod:`repro.obs.explain` holds the plan instrumentation behind
 ``EXPLAIN ANALYZE``; :mod:`repro.obs.export` renders one Prometheus
-text-format snapshot over all of it.
+text-format snapshot over all of it; :mod:`repro.obs.profile` samples
+collapsed stacks attributed to the tracer's spans (flamegraph/folded
+export); :mod:`repro.obs.querylog` records executed queries with plan
+fingerprints and flags estimate drift.
 """
 
 from repro.obs.explain import (
@@ -20,10 +23,13 @@ from repro.obs.explain import (
     NodeMetrics,
     attach,
     detach,
+    memory_tracking,
     plan_metrics,
     render_analyze,
 )
 from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.profile import SamplingProfiler
+from repro.obs.querylog import QueryLog, QueryRecord, plan_fingerprint
 from repro.obs.hist import (
     BUCKET_BOUNDS_S,
     HISTOGRAM_FIELDS,
@@ -56,7 +62,10 @@ __all__ = [
     "LatencyHistogram",
     "MetricBag",
     "NodeMetrics",
+    "QueryLog",
+    "QueryRecord",
     "SGB_COUNTER_FIELDS",
+    "SamplingProfiler",
     "Span",
     "SpanRecord",
     "TraceSpan",
@@ -65,7 +74,9 @@ __all__ = [
     "chrome_trace_payload",
     "detach",
     "maybe_span",
+    "memory_tracking",
     "parse_prometheus_text",
+    "plan_fingerprint",
     "plan_metrics",
     "prometheus_text",
     "render_analyze",

@@ -18,21 +18,53 @@ from __future__ import annotations
 
 import json
 import time
+import tracemalloc
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.metrics import MetricBag
 
 
+class memory_tracking:
+    """Ensure tracemalloc is tracing within the block.
+
+    Starts tracemalloc on entry if (and only if) it was not already
+    running, and stops it again on exit in that case — so nesting, or a
+    caller that profiles allocations themselves, is safe.  Memory-aware
+    :class:`NodeMetrics` sample peaks only while tracing is active, so
+    wrapping an instrumented execution in this context is what turns the
+    ``mem_peak`` column on.
+    """
+
+    __slots__ = ("_started",)
+
+    def __enter__(self) -> "memory_tracking":
+        self._started = not tracemalloc.is_tracing()
+        if self._started:
+            tracemalloc.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started:
+            tracemalloc.stop()
+
+
 class NodeMetrics:
     """Per-plan-node execution accounting (rows, loops, time, counters)."""
 
-    __slots__ = ("rows_out", "loops", "time_s", "bag")
+    __slots__ = ("rows_out", "loops", "time_s", "bag", "track_memory",
+                 "mem_peak_bytes")
 
-    def __init__(self) -> None:
+    def __init__(self, track_memory: bool = False) -> None:
         self.rows_out = 0
         self.loops = 0
         self.time_s = 0.0
         self.bag = MetricBag()
+        #: When True *and* tracemalloc is tracing, :meth:`record` samples
+        #: traced memory at row boundaries; ``mem_peak_bytes`` is then the
+        #: peak observed growth over the node's start baseline (inclusive
+        #: of children, like the times).  ``None`` = never measured.
+        self.track_memory = track_memory
+        self.mem_peak_bytes: Optional[int] = None
 
     def record(self, it: Iterator[tuple]) -> Iterator[tuple]:
         """Wrap one pass over the node's output, timing time-to-next-row.
@@ -46,9 +78,19 @@ class NodeMetrics:
         in a downstream node), the ``finally`` still charges the
         in-flight ``next()`` to ``time_s`` instead of silently dropping
         it.
+
+        With memory tracking on, traced bytes are sampled at the same
+        row boundaries the clock reads at: a blocking node's spool is
+        still alive when its first row emerges, so boundary sampling
+        observes materialization peaks without per-allocation hooks.
         """
         self.loops += 1
         clock = time.perf_counter
+        track_mem = self.track_memory and tracemalloc.is_tracing()
+        if track_mem:
+            mem_base = tracemalloc.get_traced_memory()[0]
+            if self.mem_peak_bytes is None:
+                self.mem_peak_bytes = 0
         t0 = clock()
         charged = False  # is the segment since t0 already in time_s?
         try:
@@ -56,6 +98,10 @@ class NodeMetrics:
                 self.time_s += clock() - t0
                 charged = True
                 self.rows_out += 1
+                if track_mem:
+                    grown = tracemalloc.get_traced_memory()[0] - mem_base
+                    if grown > self.mem_peak_bytes:
+                        self.mem_peak_bytes = grown
                 yield row
                 t0 = clock()
                 charged = False
@@ -65,6 +111,28 @@ class NodeMetrics:
         finally:
             if not charged:
                 self.time_s += clock() - t0
+            if track_mem:
+                grown = tracemalloc.get_traced_memory()[0] - mem_base
+                if grown > self.mem_peak_bytes:
+                    self.mem_peak_bytes = grown
+
+    def derived_ratios(self) -> Dict[str, float]:
+        """Candidate/refinement ratios from the node's SGB counters.
+
+        ``candidates_per_probe`` is the average index-probe fan-out;
+        ``refines_per_candidate`` how many exact distance checks each
+        candidate cost — together they say whether the index pruned
+        (low fan-out) and whether refinement amplified work.
+        """
+        probes = self.bag.get("index_probes")
+        candidates = self.bag.get("candidates")
+        distances = self.bag.get("distance_computations")
+        out: Dict[str, float] = {}
+        if probes > 0 and candidates > 0:
+            out["candidates_per_probe"] = candidates / probes
+        if candidates > 0 and distances > 0:
+            out["refines_per_candidate"] = distances / candidates
+        return out
 
     def as_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {
@@ -72,26 +140,33 @@ class NodeMetrics:
             "loops": self.loops,
             "time_ms": self.time_s * 1000.0,
         }
+        if self.mem_peak_bytes is not None:
+            out["mem_peak_bytes"] = self.mem_peak_bytes
         counters = self.bag.as_dict()
         if counters:
             out["counters"] = counters
+        derived = self.derived_ratios()
+        if derived:
+            out["derived"] = {k: round(v, 4) for k, v in derived.items()}
         histograms = self.bag.histogram_summaries()
         if histograms:
             out["histograms"] = histograms
         return out
 
 
-def attach(plan, tracer=None) -> List[NodeMetrics]:
+def attach(plan, tracer=None, memory: bool = False) -> List[NodeMetrics]:
     """Hang a fresh NodeMetrics on every node of ``plan`` (pre-order).
 
     With ``tracer`` (a :class:`~repro.obs.trace.Tracer`) given, every
     node additionally opens a span per execution pass — the plan-node
-    layer of the query span hierarchy.
+    layer of the query span hierarchy.  With ``memory=True`` the nodes
+    sample tracemalloc at row boundaries (run the execution inside
+    :class:`memory_tracking` — otherwise the flag is inert).
     """
     attached: List[NodeMetrics] = []
 
     def walk(node) -> None:
-        node._obs = NodeMetrics()
+        node._obs = NodeMetrics(track_memory=memory)
         node._tracer = tracer
         attached.append(node._obs)
         for child in node.children():
@@ -125,15 +200,24 @@ def render_analyze(plan) -> str:
         if obs is None:  # pragma: no cover - defensive
             lines.append(f"{pad}-> {node.describe()}  {est_part}".rstrip())
         else:
+            mem_part = ""
+            if obs.mem_peak_bytes is not None:
+                mem_part = f", mem_peak={_fmt_bytes(obs.mem_peak_bytes)}"
             lines.append(
                 f"{pad}-> {node.describe()}  {est_part}"
                 f"(actual rows={obs.rows_out} loops={obs.loops}, "
-                f"time={obs.time_s * 1000.0:.2f} ms)"
+                f"time={obs.time_s * 1000.0:.2f} ms{mem_part})"
             )
             counters = obs.bag.as_dict()
             if counters:
                 body = " ".join(
                     f"{k}={_fmt(v)}" for k, v in sorted(counters.items())
+                )
+                lines.append(f"{pad}     {body}")
+            derived = obs.derived_ratios()
+            if derived:
+                body = " ".join(
+                    f"{k}={v:.2f}" for k, v in sorted(derived.items())
                 )
                 lines.append(f"{pad}     {body}")
         for child in node.children():
@@ -147,6 +231,18 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+def _fmt_bytes(n: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{int(value)} B"  # pragma: no cover - unreachable
 
 
 def plan_metrics(plan) -> Dict[str, Any]:

@@ -276,9 +276,17 @@ def _parse_labels(body: str, line: str) -> Tuple[Tuple[str, str], ...]:
 def parse_prometheus_text(text: str) -> Dict[Sample, float]:
     """Parse exposition text into ``{(name, sorted_labels): value}``.
 
-    Handles exactly the subset :func:`prometheus_text` emits: comment
+    Handles the subset :func:`prometheus_text` emits plus the rest of
+    the sample-line grammar other exporters are allowed to add: comment
     lines, optional ``{label="value"}`` blocks (with ``\\n``/``\\"``/
-    ``\\\\`` escapes), and ``+Inf``/``-Inf``/``NaN`` values.
+    ``\\\\`` escapes), ``+Inf``/``-Inf``/``NaN`` values, values in
+    exponent notation (``1e+16``), and an optional trailing millisecond
+    timestamp after the value (ignored).
+
+    The grammar is ``name [labels] value [timestamp]`` — the value is
+    the *first* token after the name/labels, never the last token on
+    the line: splitting from the right used to glue an exponent-notation
+    value into the metric name and read the timestamp as the value.
     """
     out: Dict[Sample, float] = {}
     for raw in text.splitlines():
@@ -290,10 +298,15 @@ def parse_prometheus_text(text: str) -> Dict[Sample, float]:
             body, value_part = rest.rsplit("}", 1)
             labels = _parse_labels(body, line)
         else:
-            name, value_part = line.rsplit(" ", 1)
+            parts = line.split(None, 1)
+            name = parts[0]
+            value_part = parts[1] if len(parts) > 1 else ""
             labels = ()
-        value_text = value_part.strip()
-        if value_text == "+Inf":
+        fields = value_part.split()
+        if not fields:
+            raise ValueError(f"sample line {line!r} has no value")
+        value_text = fields[0]
+        if value_text in ("+Inf", "Inf"):
             value = math.inf
         elif value_text == "-Inf":
             value = -math.inf

@@ -70,7 +70,10 @@ SGB_COUNTER_FIELDS = (
 #: operators).  ``rows_skipped_null`` counts input rows discarded because a
 #: grouping attribute was NULL — a deliberate divergence from vanilla GROUP
 #: BY's single-NULL-group semantics (see docs/sql_dialect.md).
-EXEC_COUNTER_FIELDS = ("rows_skipped_null",)
+#: ``rows_spooled`` counts rows materialized into a blocking node's tuple
+#: store (the SGB §8.2 spool) — the "rows materialized" column of
+#: EXPLAIN ANALYZE's resource accounting.
+EXEC_COUNTER_FIELDS = ("rows_skipped_null", "rows_spooled")
 
 
 class MetricBag:

@@ -9,7 +9,9 @@ behind two listeners:
   SGB aggregation never blocks another session's I/O;
 * an optional minimal HTTP endpoint serving ``GET /metrics`` — the
   engine's Prometheus snapshot concatenated with the service-level
-  counters, gauges, and latency histograms.
+  counters, gauges, and latency histograms — and ``GET /status`` — a
+  JSON operational summary: uptime, sessions, scheduler depth, the
+  profiler's state, and the query log's slow-query ring.
 
 Wire protocol (one JSON object per line; see docs/service.md):
 
@@ -69,6 +71,8 @@ class SGBService:
             workers=self.config.workers,
             queue_depth=self.config.queue_depth,
         )
+        #: Wall-clock start, for the ``/status`` uptime field.
+        self._started_wall = time.time()
         self._sessions: Dict[str, Session] = {}
         self._session_seq = 0
         self._trace_seq = 0
@@ -138,6 +142,40 @@ class SGBService:
         return self.db.metrics_snapshot() + service_prometheus_text(
             self.scheduler.metrics_view(), gauges
         )
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``GET /status`` JSON body: one operational snapshot."""
+        db = self.db
+        out: Dict[str, Any] = {
+            "server": "repro.service",
+            "version": __version__,
+            "uptime_s": round(time.time() - self._started_wall, 3),
+            "sessions": len(self._sessions),
+            "scheduler": {
+                "queue_depth": self.scheduler.queue_depth,
+                "inflight": self.scheduler.inflight,
+            },
+            "trace": {"enabled": db.trace_enabled},
+            "profiler": {"enabled": db.profile_enabled},
+        }
+        if db.tracer is not None:
+            out["trace"]["spans_retained"] = len(db.tracer)
+            out["trace"]["spans_dropped"] = db.tracer.dropped
+        prof = db.profiler
+        if prof is not None:
+            out["profiler"].update({
+                "running": prof.running,
+                "mode": prof.mode,
+                "interval_s": prof.interval_s,
+                "samples": prof.samples,
+                "distinct_stacks": len(prof.counts),
+            })
+        if db.query_log is not None:
+            out["query_log"] = db.query_log.status()
+            out["query_log"]["enabled"] = db.query_log_enabled
+        else:
+            out["query_log"] = {"enabled": False}
+        return out
 
     # ------------------------------------------------------------------
     # TCP session handling
@@ -414,7 +452,9 @@ class SGBService:
     async def _on_metrics_connect(self, reader: asyncio.StreamReader,
                                   writer: asyncio.StreamWriter) -> None:
         """One-shot HTTP/1.1 exchange: parse the request line, drain the
-        headers, serve ``GET /metrics``, close."""
+        headers, serve ``GET /metrics`` or ``GET /status``, close."""
+        import json as _json
+
         try:
             request_line = await reader.readline()
             while True:
@@ -429,10 +469,17 @@ class SGBService:
                 status = "200 OK"
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
                 body = text.encode("utf-8")
+            elif method == "GET" and path == "/status":
+                payload = await asyncio.to_thread(self.status_payload)
+                status = "200 OK"
+                content_type = "application/json; charset=utf-8"
+                body = (_json.dumps(payload, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                )
             else:
                 status = "404 Not Found"
                 content_type = "text/plain; charset=utf-8"
-                body = b"only GET /metrics lives here\n"
+                body = b"only GET /metrics and GET /status live here\n"
             head = (
                 f"HTTP/1.1 {status}\r\n"
                 f"Content-Type: {content_type}\r\n"

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence
 
+from repro import kernels
 from repro.core.api import validate_point
 from repro.core.result import GroupingResult
 from repro.errors import InvalidParameterError, StreamStateError
@@ -58,6 +59,12 @@ class MicroBatcher:
         self._pending: List[Sequence[float]] = []
         self._dim = None
         self.batches: List[BatchRecord] = []
+        #: Upstream rows dropped for NULL grouping attributes (reported
+        #: by the feeding view through :meth:`note_skipped_null`); the
+        #: portion since the last flush tags the next ``micro_batch``
+        #: span, so per-batch span attrs account for every upstream row.
+        self.rows_skipped_null = 0
+        self._skipped_unflushed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -96,14 +103,22 @@ class MicroBatcher:
         for row in rows:
             self.insert(row)
 
+    def note_skipped_null(self, n: int = 1) -> None:
+        """Count an upstream row dropped for a NULL grouping attribute."""
+        self.rows_skipped_null += n
+        self._skipped_unflushed += n
+
     def flush(self) -> None:
         """Push buffered rows into the engine as one timed micro-batch."""
         if not self._pending:
             return
         batch, self._pending = self._pending, []
+        skipped, self._skipped_unflushed = self._skipped_unflushed, 0
         before = self.engine.stats.copy()
         with maybe_span(self.tracer, "micro_batch",
-                        batch=len(self.batches), size=len(batch)) as sp:
+                        batch=len(self.batches), size=len(batch),
+                        backend=kernels.active_backend(),
+                        rows_skipped_null=skipped) as sp:
             start = time.perf_counter()
             self.engine.extend(batch)
             elapsed = time.perf_counter() - start

@@ -94,6 +94,7 @@ class StreamingGroupView:
         coords = tuple(row[i] for i in self._col_idx)
         if any(c is None for c in coords):
             self._skipped += 1
+            self.batcher.note_skipped_null()
             return
         try:
             point = tuple(_coordinate(c) for c in coords)

@@ -109,6 +109,56 @@ class TestAnalyzeCounters:
         assert db.analyze(ALL_SQL).rows == db.query(ALL_SQL).rows
 
 
+class TestResourceAccounting:
+    def test_analyze_reports_per_node_peak_memory(self, db):
+        text = "\n".join(
+            row[0] for row in db.execute("EXPLAIN ANALYZE " + ANY_SQL).rows
+        )
+        assert "mem_peak=" in text
+        # Every node line carries a human unit, not raw byte counts.
+        for line in text.splitlines():
+            if "mem_peak=" in line:
+                part = line.split("mem_peak=")[1].split(")")[0]
+                assert part.endswith(("B", "KiB", "MiB", "GiB"))
+
+    def test_peak_memory_inclusive_of_children(self, db):
+        analyzed = db.analyze(ANY_SQL)
+        tree = json.loads(analyzed.metrics_json())
+
+        def walk(node):
+            yield node
+            for child in node.get("children", []):
+                yield from walk(child)
+
+        peaks = [n.get("mem_peak_bytes") for n in walk(tree)]
+        assert all(isinstance(p, int) and p >= 0 for p in peaks)
+        # The root's peak covers everything produced beneath it.
+        assert tree["mem_peak_bytes"] == max(peaks)
+
+    def test_plain_query_does_no_memory_tracking(self, db):
+        import tracemalloc
+
+        db.query(ANY_SQL)
+        assert not tracemalloc.is_tracing()
+
+    def test_rows_spooled_counted_for_partitioned_query(self, db):
+        totals = db.analyze(
+            "SELECT region, count(*) FROM pts GROUP BY x, y "
+            "DISTANCE-TO-ANY L2 WITHIN 1 PARTITION BY region"
+        ).node_counters()
+        # NULL grouping attributes are skipped up front, before any row
+        # is materialized into a partition spool.
+        assert totals["rows_spooled"] == 3
+        assert totals["rows_skipped_null"] == 2
+
+    def test_derived_ratios_rendered(self, db):
+        text = "\n".join(
+            row[0] for row in db.execute("EXPLAIN ANALYZE " + ANY_SQL).rows
+        )
+        assert "candidates_per_probe=" in text
+        assert "refines_per_candidate=" in text
+
+
 class TestInstrumentationOffByDefault:
     def test_plan_nodes_uninstrumented_by_default(self, db):
         plan = db._planner().plan_query(parse(ANY_SQL)[0])

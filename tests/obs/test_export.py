@@ -134,3 +134,43 @@ class TestParser:
     def test_rejects_unquoted_label(self):
         with pytest.raises(ValueError):
             parse_prometheus_text("m{le=5} 1\n")
+
+    def test_inf_bucket_with_trailing_timestamp(self):
+        # Regression: the exposition grammar allows an optional trailing
+        # timestamp; the old parser right-split on the last space and
+        # read the timestamp as the value (or choked on +Inf buckets).
+        text = 'm_bucket{le="+Inf"} 2 1700000000000\n'
+        parsed = parse_prometheus_text(text)
+        assert parsed[("m_bucket", (("le", "+Inf"),))] == 2
+
+    def test_exponent_value_with_trailing_timestamp(self):
+        # Regression: 'm_total 1e+16 1700000000000' used to parse as
+        # metric name 'm_total 1e+16' with the timestamp as its value.
+        parsed = parse_prometheus_text("m_total 1e+16 1700000000000\n")
+        assert parsed == {("m_total", ()): 1e16}
+
+    def test_value_less_sample_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m_total\n")
+
+    def test_round_trip_huge_counter_for_bag(self):
+        # _fmt_value switches to exponent notation at >= 1e15; the
+        # parser must read that form back (satellite regression against
+        # prometheus_text_for_bag output).
+        from repro.obs.export import prometheus_text_for_bag
+
+        bag = MetricBag()
+        bag.incr("service_requests", 10 ** 16)
+        bag.observe("service_request_latency", 5e-4)
+        text = prometheus_text_for_bag(
+            bag, counters=("service_requests",),
+            histograms=("service_request_latency",),
+        )
+        assert "1e+16" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed[("repro_service_requests_total", ())] == 1e16
+        # The +Inf bucket of the histogram round-trips too.
+        assert parsed[(
+            "repro_service_request_latency_seconds_bucket",
+            (("le", "+Inf"),),
+        )] == 1

@@ -1,0 +1,239 @@
+"""Sampling profiler: folded stacks, span attribution, fold-back."""
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    MAX_STACK_DEPTH,
+    SamplingProfiler,
+    frame_stack,
+    span_prefix_of,
+)
+from repro.obs.trace import Tracer
+
+
+def spin(seconds: float) -> int:
+    """Burn CPU in a recognizably named frame."""
+    deadline = time.perf_counter() + seconds
+    n = 0
+    while time.perf_counter() < deadline:
+        n += 1
+    return n
+
+
+class TestFrameStack:
+    def test_root_to_leaf_order(self):
+        frame = sys._getframe()
+        stack = frame_stack(frame)
+        assert stack[-1].endswith("test_root_to_leaf_order")
+        assert all(":" in entry for entry in stack)
+
+    def test_depth_cap_keeps_leaf(self):
+        def recurse(depth):
+            if depth == 0:
+                return frame_stack(sys._getframe())
+            return recurse(depth - 1)
+
+        stack = recurse(MAX_STACK_DEPTH + 20)
+        assert len(stack) == MAX_STACK_DEPTH
+        assert stack[-1].endswith("recurse")  # leaf end survives the cap
+
+    def test_span_prefix_of(self):
+        tracer = Tracer()
+        assert span_prefix_of(None) == ()
+        with tracer.span("query"):
+            with tracer.span("spool"):
+                assert span_prefix_of(tracer) == ("span:query", "span:spool")
+        assert span_prefix_of(tracer) == ()
+
+
+class TestLifecycle:
+    def test_start_stop_and_running(self):
+        prof = SamplingProfiler(interval_s=0.001)
+        assert not prof.running
+        prof.start()
+        assert prof.running
+        with pytest.raises(RuntimeError):
+            prof.start()
+        prof.stop()
+        assert not prof.running
+        prof.stop()  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(mode="perf")
+
+    def test_context_manager_collects_samples(self):
+        prof = SamplingProfiler(interval_s=0.001)
+        with prof:
+            spin(0.08)
+        assert prof.samples > 0
+        assert any(
+            any(frame.endswith(":spin") for frame in stack)
+            for stack in prof.counts
+        )
+
+    def test_clear(self):
+        prof = SamplingProfiler(interval_s=0.001)
+        with prof:
+            spin(0.05)
+        assert prof.samples
+        prof.clear()
+        assert prof.samples == 0 and not prof.counts
+
+
+class TestSpanAttribution:
+    def test_samples_prefixed_with_live_span_path(self):
+        tracer = Tracer()
+        prof = SamplingProfiler(interval_s=0.001, tracer=tracer)
+        with prof:
+            with tracer.span("query"):
+                with tracer.span("hot_phase"):
+                    spin(0.08)
+        spans = prof.span_times()
+        assert spans.get("hot_phase", 0) > 0
+        # The span frames nest in trace order within the folded stack.
+        for stack in prof.counts:
+            if "span:hot_phase" in stack:
+                assert stack.index("span:query") < \
+                    stack.index("span:hot_phase")
+                break
+        else:
+            pytest.fail("no sample carried the span prefix")
+
+    def test_other_threads_sampled_without_span_prefix(self):
+        tracer = Tracer()
+        prof = SamplingProfiler(interval_s=0.001, tracer=tracer)
+        stop = threading.Event()
+
+        def background():
+            while not stop.is_set():
+                pass
+
+        worker = threading.Thread(target=background, daemon=True)
+        worker.start()
+        try:
+            with prof:
+                with tracer.span("query"):
+                    spin(0.08)
+        finally:
+            stop.set()
+            worker.join()
+        background_stacks = [
+            stack for stack in prof.counts
+            if any(f.endswith(":background") for f in stack)
+        ]
+        assert background_stacks
+        for stack in background_stacks:
+            assert "span:query" not in stack
+
+
+class TestExportAndFold:
+    def test_folded_format(self):
+        prof = SamplingProfiler(interval_s=0.001)
+        with prof:
+            spin(0.05)
+        for line in prof.folded():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+            assert stack
+
+    def test_to_folded_file(self, tmp_path):
+        prof = SamplingProfiler(interval_s=0.001)
+        with prof:
+            spin(0.05)
+        path = tmp_path / "profile.folded"
+        n = prof.to_folded_file(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n > 0
+
+    def test_state_ingest_round_trip_with_prefix(self):
+        worker = SamplingProfiler(interval_s=0.001)
+        worker._count(("worker.py:run", "kernels.py:probe"), 7)
+        state = worker.state()
+        parent = SamplingProfiler()
+        folded = parent.ingest(state, prefix=("span:query",))
+        assert folded == 7
+        assert parent.counts[
+            ("span:query", "worker.py:run", "kernels.py:probe")
+        ] == 7
+        assert parent.samples == 7
+
+    def test_state_is_picklable(self):
+        import pickle
+
+        prof = SamplingProfiler(interval_s=0.001)
+        with prof:
+            spin(0.03)
+        state = pickle.loads(pickle.dumps(prof.state()))
+        assert state["samples"] == prof.samples
+
+    def test_merge(self):
+        a = SamplingProfiler()
+        b = SamplingProfiler()
+        a._count(("x",), 2)
+        b._count(("x",), 3)
+        b._count(("y",), 1)
+        a.merge(b)
+        assert a.counts[("x",)] == 5
+        assert a.counts[("y",)] == 1
+
+    def test_overflow_bucket(self):
+        prof = SamplingProfiler()
+        import repro.obs.profile as profile_mod
+
+        real_cap = profile_mod.MAX_UNIQUE_STACKS
+        profile_mod.MAX_UNIQUE_STACKS = 2
+        try:
+            prof._count(("a",))
+            prof._count(("b",))
+            prof._count(("c",))
+        finally:
+            profile_mod.MAX_UNIQUE_STACKS = real_cap
+        assert prof.counts[("<overflow>",)] == 1
+        assert prof.overflowed == 1
+        assert prof.samples == 3
+
+    def test_report_renders(self):
+        tracer = Tracer()
+        prof = SamplingProfiler(interval_s=0.001, tracer=tracer)
+        with prof:
+            with tracer.span("query"):
+                spin(0.05)
+        report = prof.report(top=5)
+        assert "samples" in report
+        assert "by self time:" in report
+
+    def test_empty_report(self):
+        prof = SamplingProfiler()
+        assert "no samples" in prof.report()
+
+
+@pytest.mark.skipif(
+    not hasattr(__import__("signal"), "SIGPROF"),
+    reason="SIGPROF not available on this platform",
+)
+class TestSignalMode:
+    def test_signal_mode_samples_cpu_work(self):
+        prof = SamplingProfiler(interval_s=0.001, mode="signal")
+        with prof:
+            spin(0.15)
+        # ITIMER_PROF counts CPU time, so a busy loop must get sampled.
+        assert prof.samples > 0
+        assert any(
+            any(f.endswith(":spin") for f in stack) for stack in prof.counts
+        )
+
+    def test_signal_mode_restores_handler(self):
+        import signal as _signal
+
+        before = _signal.getsignal(_signal.SIGPROF)
+        prof = SamplingProfiler(interval_s=0.001, mode="signal")
+        prof.start()
+        prof.stop()
+        assert _signal.getsignal(_signal.SIGPROF) == before

@@ -245,6 +245,56 @@ class TestMetricsEndpoints:
         assert err.value.code == 404
 
 
+class TestStatusEndpoint:
+    def fetch_status(self, server):
+        import json
+
+        url = f"http://127.0.0.1:{server.metrics_port}/status"
+        with urllib.request.urlopen(url) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith(
+                "application/json")
+            return json.loads(resp.read().decode("utf-8"))
+
+    def test_basic_shape_with_observability_off(self, server, client):
+        client.query(SGB_SQL)
+        status = self.fetch_status(server)
+        assert status["server"] == "repro.service"
+        assert status["uptime_s"] >= 0
+        assert status["sessions"] >= 1
+        assert status["scheduler"]["queue_depth"] >= 0
+        assert status["scheduler"]["inflight"] >= 0
+        assert status["trace"] == {"enabled": False}
+        assert status["profiler"] == {"enabled": False}
+        assert status["query_log"] == {"enabled": False}
+
+    def test_reports_profiler_state_and_slow_query_ring(self):
+        db = make_db()
+        db.set_trace(True)
+        db.set_profile(True, interval_s=0.001)
+        db.set_query_log(True)
+        try:
+            with ServerThread(db=db) as server:
+                with ServiceClient(port=server.port) as c:
+                    c.query(SGB_SQL)
+                    c.query(PARTITION_SQL)
+                status = self.fetch_status(server)
+        finally:
+            db.set_profile(False)
+        assert status["trace"]["enabled"] is True
+        assert status["trace"]["spans_retained"] > 0
+        prof = status["profiler"]
+        assert prof["enabled"] is True and prof["running"] is True
+        assert prof["mode"] == "thread"
+        ql = status["query_log"]
+        assert ql["enabled"] is True
+        assert ql["recorded"] == 2
+        slow = ql["slow_queries"]
+        assert len(slow) == 2
+        assert {q["sql"] for q in slow} == {SGB_SQL, PARTITION_SQL}
+        assert all(q["latency_ms"] > 0 for q in slow)
+
+
 class TestTracing:
     def test_service_spans_ingested_with_parenting(self):
         db = make_db()

@@ -115,6 +115,58 @@ class TestPerBatchStats:
         assert d["seq"] == 0 and d["size"] == 2
 
 
+class TestBatchSpanTags:
+    def make_traced_batcher(self, batch_size=3):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=batch_size,
+                          tracer=tracer)
+        return mb, tracer
+
+    def test_span_carries_backend_and_null_skips(self):
+        from repro import kernels
+
+        mb, tracer = self.make_traced_batcher()
+        mb.extend([(0, 0), (1, 1)])
+        mb.note_skipped_null(2)
+        mb.insert((2, 2))  # flush
+        (span,) = [r for r in tracer.records() if r.name == "micro_batch"]
+        assert span.attrs["backend"] == kernels.active_backend()
+        assert span.attrs["rows_skipped_null"] == 2
+        assert span.attrs["size"] == 3
+
+    def test_skip_counter_is_per_batch_delta_not_cumulative(self):
+        mb, tracer = self.make_traced_batcher(batch_size=2)
+        mb.note_skipped_null()
+        mb.extend([(0, 0), (1, 1)])        # flush 1: one skip so far
+        mb.note_skipped_null(3)
+        mb.extend([(2, 2), (3, 3)])        # flush 2: three more
+        mb.flush()                          # empty buffer: no span
+        spans = [r for r in tracer.records() if r.name == "micro_batch"]
+        assert [s.attrs["rows_skipped_null"] for s in spans] == [1, 3]
+        assert mb.rows_skipped_null == 4    # lifetime total still kept
+
+    def test_untraced_batcher_still_counts_skips(self):
+        mb = MicroBatcher(StreamingSGBAny(eps=1.0), batch_size=2)
+        mb.note_skipped_null(5)
+        mb.extend([(0, 0), (1, 1)])
+        assert mb.rows_skipped_null == 5
+
+    def test_stream_view_null_rows_feed_batch_tags(self):
+        from repro.engine.database import Database
+
+        db = Database(trace=True)
+        db.execute("CREATE TABLE t (x float, y float)")
+        db.create_stream_view("sv", "t", ["x", "y"], "any", eps=1.0,
+                              batch_size=4)
+        db.insert("t", [(0.0, 0.0), (None, 1.0), (1.0, None), (2.0, 2.0),
+                        (3.0, 3.0), (4.0, 4.0)])
+        spans = [r for r in db.tracer.records() if r.name == "micro_batch"]
+        assert sum(s.attrs["rows_skipped_null"] for s in spans) == 2
+        assert all("backend" in s.attrs for s in spans)
+
+
 class TestSgbStreamEntryPoint:
     def test_builds_any_engine(self):
         stream = sgb_stream("any", eps=1.0, batch_size=2)
