@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""sgblint wall-time gate: the whole-program analyzer must stay cheap.
+
+The v2 analyzer builds a project-wide symbol table, call graph, and
+per-function flow passes on top of the original per-file rule runner.
+That extra machinery is only acceptable if it does not blow up lint
+latency, so this benchmark times three configurations over ``src``:
+
+* **file-rules** — the per-file rules only (SGB001–SGB006), the v1
+  runner's workload and this gate's baseline;
+* **full-cold** — all eleven rules including the project pass, no
+  cache: what CI pays on a cache miss;
+* **full-warm** — the same run served from a warm ``--cache``: what CI
+  pays on a cache hit (and what an edit-lint loop pays locally).
+
+Gates:
+
+* full-cold wall time <= ``--factor`` (default 2.0) x file-rules wall
+  time — the whole-program upgrade may at most double the linter;
+* full-warm analyzes zero files — the cache actually short-circuits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sgblint.py [--quick]
+        [--paths src] [--repeat 3] [--factor 2.0]
+        [--out BENCH_sgblint.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import lint_paths
+
+FILE_RULE_IDS = ("SGB001", "SGB002", "SGB003", "SGB004", "SGB005",
+                 "SGB006")
+
+
+def _best_of(repeat, fn):
+    best = None
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def run(paths, repeat, factor, out_path):
+    rules = all_rules()
+    file_rules = tuple(r for r in rules if r.id in FILE_RULE_IDS)
+
+    t_file, _ = _best_of(
+        repeat, lambda: lint_paths(paths, rules=file_rules))
+    t_cold, cold_findings = _best_of(
+        repeat, lambda: lint_paths(paths, rules=tuple(rules)))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = os.path.join(tmp, "bench_cache.json")
+        lint_paths(paths, rules=tuple(rules),
+                   cache=AnalysisCache(cache_path))
+        warm_cache = None
+
+        def warm():
+            nonlocal warm_cache
+            warm_cache = AnalysisCache(cache_path)
+            return lint_paths(paths, rules=tuple(rules), cache=warm_cache)
+
+        t_warm, _ = _best_of(repeat, warm)
+        warm_analyzed = len(warm_cache.stats.analyzed)
+
+    ratio = t_cold / t_file if t_file else float("inf")
+    report = {
+        "paths": list(paths),
+        "repeat": repeat,
+        "file_rules_s": round(t_file, 4),
+        "full_cold_s": round(t_cold, 4),
+        "full_warm_s": round(t_warm, 4),
+        "cold_over_file_ratio": round(ratio, 3),
+        "gate_factor": factor,
+        "warm_files_analyzed": warm_analyzed,
+        "findings": len(cold_findings),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(f"file rules only : {t_file:8.3f}s")
+    print(f"full, cold      : {t_cold:8.3f}s  ({ratio:.2f}x file rules)")
+    print(f"full, warm cache: {t_warm:8.3f}s  "
+          f"({warm_analyzed} files re-analyzed)")
+
+    failures = []
+    if ratio > factor:
+        failures.append(
+            f"cold full run is {ratio:.2f}x the file-rule baseline "
+            f"(gate: <= {factor}x)")
+    if warm_analyzed != 0:
+        failures.append(
+            f"warm cache re-analyzed {warm_analyzed} unchanged files "
+            f"(gate: 0)")
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("gates OK")
+    return 1 if failures else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single timing pass (CI smoke mode)")
+    parser.add_argument("--paths", default="src",
+                        help="comma-separated lint targets")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing passes; best-of is reported")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="max allowed cold-full / file-rules ratio")
+    parser.add_argument("--out", default="BENCH_sgblint.json")
+    args = parser.parse_args(argv)
+    repeat = 1 if args.quick else args.repeat
+    return run(args.paths.split(","), repeat, args.factor, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,29 +35,40 @@ Key = Tuple[str, str, str]
 
 
 class BaselineEntry:
-    __slots__ = ("rule", "path", "message", "count", "justification")
+    __slots__ = ("rule", "path", "message", "count", "justification",
+                 "content_hash")
 
     def __init__(self, rule: str, path: str, message: str,
                  count: int = 1,
-                 justification: str = TODO_JUSTIFICATION):
+                 justification: str = TODO_JUSTIFICATION,
+                 content_hash: Optional[str] = None):
         self.rule = rule
         self.path = path
         self.message = message
         self.count = count
         self.justification = justification
+        #: sha256 of the file's content when the entry was (re)verified
+        #: via ``--update-baseline``.  ``--strict-baseline`` fails when
+        #: the file has since changed, even if the finding still matches
+        #: — the justification was written about different code and must
+        #: be re-confirmed.
+        self.content_hash = content_hash
 
     @property
     def key(self) -> Key:
         return (self.rule, self.path, self.message)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "message": self.message,
             "count": self.count,
             "justification": self.justification,
         }
+        if self.content_hash is not None:
+            out["content_hash"] = self.content_hash
+        return out
 
 
 class Baseline:
@@ -82,6 +93,7 @@ class Baseline:
                 d["rule"], d["path"], d["message"],
                 int(d.get("count", 1)),
                 d.get("justification", TODO_JUSTIFICATION),
+                d.get("content_hash"),
             )
             for d in payload.get("entries", [])
         ]
@@ -135,15 +147,38 @@ class Baseline:
             if e.justification.strip() in ("", TODO_JUSTIFICATION)
         ]
 
+    def hash_mismatches(self) -> List[BaselineEntry]:
+        """Entries whose file content changed since the hash was stamped.
+
+        True stale detection: a justification written against code that
+        has since been edited may no longer describe reality even when
+        the finding identity still matches.  Entries without a stored
+        hash (pre-hash baselines) are skipped, not failed — running
+        ``--update-baseline`` once stamps them.
+        """
+        from repro.analysis.cache import file_hash
+
+        out: List[BaselineEntry] = []
+        for entry in self.entries.values():
+            if entry.content_hash is None:
+                continue
+            current = file_hash(entry.path)
+            if current != entry.content_hash:
+                out.append(entry)
+        return out
+
     # -- construction from findings ---------------------------------------
     @classmethod
     def from_findings(cls, findings: Iterable[Finding],
                       previous: Optional["Baseline"] = None) -> "Baseline":
         """A baseline covering exactly ``findings``; justifications are
         carried over from ``previous`` where the identity persists."""
+        from repro.analysis.cache import file_hash
+
         counts: Dict[Key, int] = {}
         for f in findings:
             counts[f.key] = counts.get(f.key, 0) + 1
+        hashes: Dict[str, Optional[str]] = {}
         entries = []
         for (rule, path, message), count in counts.items():
             justification = TODO_JUSTIFICATION
@@ -151,8 +186,13 @@ class Baseline:
                 old = previous.entries.get((rule, path, message))
                 if old is not None:
                     justification = old.justification
+            if path not in hashes:
+                hashes[path] = file_hash(path)
+            # Updating the baseline *is* the re-verification step, so
+            # the hash is always refreshed to the current content.
             entries.append(
-                BaselineEntry(rule, path, message, count, justification)
+                BaselineEntry(rule, path, message, count, justification,
+                              hashes[path])
             )
         return cls(entries)
 

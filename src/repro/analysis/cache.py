@@ -1,0 +1,212 @@
+"""Incremental analysis cache for sgblint.
+
+Findings for a file are a pure function of (file content, rule set) for
+per-file rules, and of (package content, rule set) for whole-program
+rules.  The cache exploits both: per-file findings are stored under the
+file's content hash and served without re-parsing when the hash matches;
+project-rule findings are stored under a signature folding every package
+file's hash, so a warm run with nothing changed re-analyzes nothing at
+all.
+
+When files *did* change, the re-analyzed set is the changed files plus
+their reverse-dependency cone (modules that import a changed module,
+transitively, via the symbol table's import graph).  Per-file rules
+don't strictly need the cone — their findings depend only on the file —
+but re-running them over the cone keeps the cache honest against rules
+that scope themselves by module identity, and it is exactly the set the
+project pass must rebuild anyway, so the conservative choice costs
+nothing extra.
+
+The cache file is JSON, safe to delete at any time, and versioned: a
+rule-set change (different ids, or a bumped ``CACHE_VERSION``) discards
+it wholesale rather than risking stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    Rule,
+    run_project_rules,
+    run_rules,
+)
+
+DEFAULT_CACHE_PATH = ".sgblint_cache.json"
+
+#: Bump when analysis semantics change in a way hashes cannot see.
+CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def file_hash(path: str) -> Optional[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return content_hash(fh.read())
+    except OSError:
+        return None
+
+
+class CacheStats:
+    """What a cached run actually did — the CLI prints it and the cache
+    invalidation tests assert on it."""
+
+    __slots__ = ("analyzed", "cached", "project_reused")
+
+    def __init__(self) -> None:
+        #: Paths re-analyzed this run (changed + reverse cone + new).
+        self.analyzed: List[str] = []
+        #: Paths whose findings were served from the cache.
+        self.cached: List[str] = []
+        #: Whole-program findings came from the cache unchanged.
+        self.project_reused = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "analyzed": len(self.analyzed),
+            "cached": len(self.cached),
+            "project_reused": self.project_reused,
+        }
+
+
+class AnalysisCache:
+    """Load/serve/update one cache file across a single sgblint run."""
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH):
+        self.path = path
+        self.stats = CacheStats()
+        self._data: Dict[str, object] = {}
+        self._loaded_signature: Optional[str] = None
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    raw = json.load(fh)
+                if (isinstance(raw, dict)
+                        and raw.get("version") == CACHE_VERSION):
+                    self._data = raw
+                    self._loaded_signature = raw.get("rule_signature")
+            except (OSError, ValueError):
+                self._data = {}
+
+    # -- signatures ---------------------------------------------------------
+    @staticmethod
+    def rule_signature(rules: Iterable[Rule]) -> str:
+        ids = sorted(r.id for r in rules)
+        return content_hash(f"v{CACHE_VERSION}:" + ",".join(ids))
+
+    @staticmethod
+    def project_signature(contexts: Iterable[FileContext]) -> str:
+        parts = sorted(
+            f"{ctx.path}={content_hash(ctx.source)}" for ctx in contexts
+        )
+        return content_hash("\n".join(parts))
+
+    # -- the run ------------------------------------------------------------
+    def run(self, contexts: List[FileContext], project,
+            file_rules: List[Rule],
+            project_rules: List[Rule]) -> List[Finding]:
+        signature = self.rule_signature(list(file_rules)
+                                        + list(project_rules))
+        if self._loaded_signature != signature:
+            self._data = {}  # different rules: everything is stale
+        files: Dict[str, Dict[str, object]] = dict(
+            self._data.get("files", {}))  # type: ignore[arg-type]
+
+        hashes = {ctx.path: content_hash(ctx.source) for ctx in contexts}
+        changed: Set[str] = {
+            path for path, digest in hashes.items()
+            if files.get(path, {}).get("hash") != digest
+        }
+        cone = self._reverse_cone(project, changed)
+        dirty = changed | cone
+
+        findings: List[Finding] = []
+        new_files: Dict[str, Dict[str, object]] = {}
+        for ctx in contexts:
+            if ctx.path in dirty:
+                file_findings = (run_rules(ctx, file_rules)
+                                 if file_rules else [])
+                self.stats.analyzed.append(ctx.path)
+            else:
+                file_findings = [
+                    Finding.from_dict(d)
+                    for d in files[ctx.path].get("findings", [])
+                ]
+                self.stats.cached.append(ctx.path)
+            new_files[ctx.path] = {
+                "hash": hashes[ctx.path],
+                "findings": [f.as_dict() for f in file_findings],
+            }
+            findings.extend(file_findings)
+
+        if project_rules:
+            findings.extend(
+                self._project_findings(project, project_rules))
+
+        self._data = {
+            "version": CACHE_VERSION,
+            "rule_signature": signature,
+            "files": new_files,
+            "project": self._data.get("project"),
+        }
+        self.save()
+        return findings
+
+    def _project_findings(self, project,
+                          project_rules: List[Rule]) -> List[Finding]:
+        package_contexts = list(project.package_contexts.values())
+        signature = self.project_signature(package_contexts)
+        cached = self._data.get("project")
+        if isinstance(cached, dict) and cached.get("signature") == signature:
+            self.stats.project_reused = True
+            return [Finding.from_dict(d)
+                    for d in cached.get("findings", [])]
+        found = run_project_rules(project, project_rules)
+        self._data["project"] = {
+            "signature": signature,
+            "findings": [f.as_dict() for f in found],
+        }
+        return found
+
+    def _reverse_cone(self, project, changed: Set[str]) -> Set[str]:
+        """Paths of modules that (transitively) import a changed module."""
+        if not changed:
+            return set()
+        edges = project.table.import_edges()
+        dependents: Dict[str, Set[str]] = {}
+        for module, imports in edges.items():
+            for imported in imports:
+                dependents.setdefault(imported, set()).add(module)
+        path_by_module = {
+            module: ctx.path
+            for module, ctx in project.package_contexts.items()
+        }
+        module_by_path = {p: m for m, p in path_by_module.items()}
+        frontier = [module_by_path[p] for p in changed
+                    if p in module_by_path]
+        seen: Set[str] = set(frontier)
+        cone: Set[str] = set()
+        while frontier:
+            module = frontier.pop()
+            for dependent in dependents.get(module, ()):
+                if dependent in seen:
+                    continue
+                seen.add(dependent)
+                cone.add(path_by_module.get(dependent, ""))
+                frontier.append(dependent)
+        cone.discard("")
+        return cone
+
+    def save(self) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._data, fh, sort_keys=True)
+        os.replace(tmp, self.path)

@@ -52,6 +52,33 @@ class Rule:
         return f"<{type(self).__name__} {self.id}: {self.title}>"
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (SGB007+).
+
+    Project rules implement :meth:`check_project` against a
+    :class:`~repro.analysis.project.Project` instead of a single file
+    context; their per-file :meth:`check` is a no-op so the per-file
+    driver can run a mixed rule list without special-casing.  The runner
+    calls :meth:`check_project` once per invocation and applies pragma
+    suppression using the context of each finding's file.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    def finding_at(self, path: str, node: ast.AST,
+                   message: str) -> Finding:
+        return Finding(
+            self.id, path,
+            getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+            message, self.severity,
+        )
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -103,5 +130,25 @@ def run_rules(ctx: FileContext,
     for rule in chosen:
         for f in rule.check(ctx):
             if not ctx.is_disabled(f.line, f.rule):
+                out.append(f)
+    return out
+
+
+def split_rules(rules: Iterable[Rule] = ()):
+    """Partition a rule list into (file_rules, project_rules)."""
+    chosen = list(rules) or all_rules()
+    file_rules = [r for r in chosen if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+def run_project_rules(project,
+                      rules: Iterable[ProjectRule]) -> List[Finding]:
+    """Run whole-program rules once over a built Project, honouring the
+    per-line pragmas of whichever file each finding lands in."""
+    out: List[Finding] = []
+    for rule in rules:
+        for f in rule.check_project(project):
+            if not project.is_disabled(f.path, f.line, f.rule):
                 out.append(f)
     return out

@@ -1,0 +1,239 @@
+"""SGB011: worker payloads must round-trip through the fold-back.
+
+``repro.core.parallel`` ships observability state across the process
+boundary as an ``ObsPayload`` dict: workers *produce* keys
+(``payload["counters"] = ...``) and the parent *consumes* them in
+``fold_obs_payload``.  The two sides are only linked by convention, so
+adding a producer key without teaching the fold about it silently drops
+that telemetry for every parallel query — no error, just missing data.
+This rule diffs produced keys against consumed keys, per module.
+
+The second check closes SGB005's one-call-deep blind spot: SGB005 flags
+lambdas/closures passed *directly* to ``pool.submit``, but not a
+module-level wrapper that *returns* one, nor a nested function resolved
+through a variable.  Here the submitted callable is resolved through
+the symbol table: nested functions are flagged outright, and
+module-level callees whose return expressions contain a ``lambda`` or a
+locally-defined function are flagged too — both pickle-bomb the pool at
+runtime on the first submit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import str_const
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+#: Only modules in this family carry the fold-back contract.
+_SCOPE_PREFIX = "repro.core.parallel"
+
+#: The consumer side of the contract.
+_FOLD_FUNCTION = "fold_obs_payload"
+
+#: Annotation tail marking a producer dict.
+_PAYLOAD_TYPE = "ObsPayload"
+
+_DISPATCH_METHODS = frozenset({"submit", "map"})
+
+
+@register
+class FoldbackSafetyRule(ProjectRule):
+    """Every produced ``ObsPayload`` key needs a consumer in
+    ``fold_obs_payload``, and submitted callables must pickle.
+
+    Producer keys are string-keyed writes to variables annotated
+    ``ObsPayload`` (``payload["counters"] = ...``); consumer keys are
+    ``payload.get("k")``, ``payload["k"]`` reads, and ``"k" in payload``
+    tests inside ``fold_obs_payload``.  A produced key with no consumer
+    is telemetry that crosses the process boundary and evaporates.
+
+    The picklability half resolves each ``pool.submit(fn, ...)`` /
+    ``pool.map(fn, ...)`` callable through the project symbol table:
+    nested functions cannot pickle (flagged), and module-level callees
+    that *return* a lambda or locally-defined function poison the
+    arguments of the next submit one call deeper than SGB005 can see.
+    """
+
+    id = "SGB011"
+    title = "fold-back contract violation in parallel worker payload"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        for module_name in sorted(project.package_contexts):
+            if not module_name.startswith(_SCOPE_PREFIX):
+                continue
+            ctx = project.package_contexts[module_name]
+            yield from self._check_payload_keys(project, module_name, ctx)
+            yield from self._check_submitted_callables(
+                project, module_name, ctx)
+
+    # -- produced vs consumed keys -----------------------------------------
+    def _check_payload_keys(self, project, module_name,
+                            ctx) -> Iterator[Finding]:
+        produced = self._produced_keys(ctx.tree)
+        if not produced:
+            return
+        consumed = self._consumed_keys(project, module_name)
+        if consumed is None:
+            return  # no fold function in scope: different contract
+        for key, node in sorted(produced.items()):
+            if key in consumed:
+                continue
+            yield self.finding_at(
+                ctx.path, node,
+                f"worker payload key {key!r} is produced here but never "
+                f"consumed by {_FOLD_FUNCTION}() — the telemetry is "
+                f"dropped after the process hop; fold it or remove it",
+            )
+
+    def _produced_keys(self, tree: ast.AST) -> Dict[str, ast.AST]:
+        payload_vars = self._payload_vars(tree)
+        produced: Dict[str, ast.AST] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    key = self._payload_subscript_key(target, payload_vars)
+                    if key is not None:
+                        produced.setdefault(key, target)
+            elif isinstance(node, ast.Call):
+                # payload.setdefault("k", ...) also produces.
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "setdefault"
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in payload_vars
+                        and node.args):
+                    key = str_const(node.args[0])
+                    if key is not None:
+                        produced.setdefault(key, node)
+        return produced
+
+    def _payload_vars(self, tree: ast.AST) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name):
+                ann = node.annotation
+                tail = None
+                if isinstance(ann, ast.Name):
+                    tail = ann.id
+                elif isinstance(ann, ast.Attribute):
+                    tail = ann.attr
+                if tail == _PAYLOAD_TYPE:
+                    out.add(node.target.id)
+        return out
+
+    @staticmethod
+    def _payload_subscript_key(target: ast.AST,
+                               payload_vars: Set[str]) -> Optional[str]:
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in payload_vars):
+            return str_const(target.slice)
+        return None
+
+    def _consumed_keys(self, project,
+                       module_name: str) -> Optional[Set[str]]:
+        """Keys read by ``fold_obs_payload`` in this module family —
+        checked across the family so a fixture module pairing its own
+        producer/fold stays self-contained."""
+        fold_sym = None
+        mod = project.table.modules.get(module_name)
+        if mod is not None and _FOLD_FUNCTION in mod.functions:
+            fold_sym = mod.functions[_FOLD_FUNCTION]
+        if fold_sym is None:
+            base = project.table.modules.get(_SCOPE_PREFIX)
+            if base is not None:
+                fold_sym = base.functions.get(_FOLD_FUNCTION)
+        if fold_sym is None:
+            return None
+        consumed: Set[str] = set()
+        for node in ast.walk(fold_sym.node):
+            if isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("get", "pop")
+                        and node.args):
+                    key = str_const(node.args[0])
+                    if key is not None:
+                        consumed.add(key)
+            elif isinstance(node, ast.Subscript):
+                key = str_const(node.slice)
+                if key is not None:
+                    consumed.add(key)
+            elif isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.In, ast.NotIn))
+                       for op in node.ops):
+                    key = str_const(node.left)
+                    if key is not None:
+                        consumed.add(key)
+        return consumed
+
+    # -- one-call-deep picklability ----------------------------------------
+    def _check_submitted_callables(self, project, module_name,
+                                   ctx) -> Iterator[Finding]:
+        for caller_q in sorted(project.table.functions):
+            caller = project.table.functions[caller_q]
+            if caller.module != module_name or caller.nested:
+                continue
+            yield from self._check_caller(project, module_name, ctx,
+                                          caller)
+
+    def _check_caller(self, project, module_name, ctx,
+                      caller) -> Iterator[Finding]:
+        for node in ast.walk(caller.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DISPATCH_METHODS):
+                continue
+            if not node.args:
+                continue
+            fn_arg = node.args[0]
+            if not isinstance(fn_arg, ast.Name):
+                continue  # direct lambdas are SGB005's case
+            # A local def shadows any module-level name of the same
+            # spelling, so try the enclosing scope first.
+            resolved = f"{caller.qualname}.<locals>.{fn_arg.id}"
+            sym = project.table.functions.get(resolved)
+            if sym is None:
+                resolved = project.table.resolve(module_name, fn_arg.id)
+                sym = (project.table.functions.get(resolved)
+                       if resolved else None)
+            if sym is None:
+                continue
+            if sym.nested:
+                yield self.finding_at(
+                    ctx.path, node,
+                    f"submitted callable {fn_arg.id!r} is a nested "
+                    f"function — it cannot pickle, so the pool dies on "
+                    f"first dispatch; move it to module level",
+                )
+                continue
+            poison = self._returns_unpicklable(sym.node)
+            if poison is not None:
+                yield self.finding_at(
+                    ctx.path, node,
+                    f"submitted callable {fn_arg.id!r} returns a "
+                    f"{poison} (see {sym.qualname}) — the result, or "
+                    f"anything closing over it, will not pickle back "
+                    f"from the worker",
+                )
+
+    @staticmethod
+    def _returns_unpicklable(func_node: ast.AST) -> Optional[str]:
+        local_defs: Set[str] = set()
+        for node in ast.walk(func_node):
+            if node is func_node:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_defs.add(node.name)
+        for node in ast.walk(func_node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Lambda):
+                    return "lambda"
+                if isinstance(sub, ast.Name) and sub.id in local_defs:
+                    return "locally-defined function"
+        return None

@@ -7,7 +7,13 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, syntax_error_finding
-from repro.analysis.registry import Rule, run_rules
+from repro.analysis.project import Project
+from repro.analysis.registry import (
+    Rule,
+    run_project_rules,
+    run_rules,
+    split_rules,
+)
 
 #: Directory basenames never descended into.
 EXCLUDED_DIR_NAMES = frozenset({
@@ -67,6 +73,8 @@ def lint_source(source: str, path: str = "<string>",
 
     ``module`` overrides the dotted module identity used for rule
     scoping; fixtures alternatively embed ``# sgblint: module=...``.
+    Whole-program rules see a single-file project, which is exactly what
+    the TP/TN fixtures want.
     """
     try:
         ctx = FileContext(path, source, module=module)
@@ -74,7 +82,12 @@ def lint_source(source: str, path: str = "<string>",
         return [syntax_error_finding(path, exc)]
     if ctx.skip_file:
         return []
-    return run_rules(ctx, rules)
+    file_rules, project_rules = split_rules(rules)
+    findings = run_rules(ctx, file_rules) if file_rules else []
+    if project_rules:
+        findings.extend(run_project_rules(Project([ctx]), project_rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
 
 
 def lint_file(path: str, module: Optional[str] = None,
@@ -84,13 +97,49 @@ def lint_file(path: str, module: Optional[str] = None,
     return lint_source(source, _norm(path), module=module, rules=rules)
 
 
+def load_contexts(paths: Sequence[str],
+                  include_fixtures: bool = False,
+                  ) -> "tuple[List[FileContext], List[Finding]]":
+    """Parse every file under ``paths`` into contexts; syntax errors
+    become SGB000 findings instead of contexts."""
+    contexts: List[FileContext] = []
+    errors: List[Finding] = []
+    for path in iter_python_files(paths, include_fixtures=include_fixtures):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            ctx = FileContext(path, source)
+        except SyntaxError as exc:
+            errors.append(syntax_error_finding(path, exc))
+            continue
+        if not ctx.skip_file:
+            contexts.append(ctx)
+    return contexts, errors
+
+
 def lint_paths(paths: Sequence[str],
                rules: Iterable[Rule] = (),
-               include_fixtures: bool = False) -> List[Finding]:
+               include_fixtures: bool = False,
+               cache=None) -> List[Finding]:
     """Lint every Python file under ``paths``; findings sorted by
-    location."""
-    findings: List[Finding] = []
-    for path in iter_python_files(paths, include_fixtures=include_fixtures):
-        findings.extend(lint_file(path, rules=rules))
+    location.
+
+    Per-file rules run file by file (served from ``cache`` when one is
+    given and the file plus its import cone are unchanged); whole-program
+    rules run once over a project built from every parsed context.
+    """
+    contexts, findings = load_contexts(
+        paths, include_fixtures=include_fixtures)
+    file_rules, project_rules = split_rules(rules)
+    project = Project(contexts)
+    if cache is not None:
+        findings.extend(
+            cache.run(contexts, project, file_rules, project_rules))
+    else:
+        if file_rules:
+            for ctx in contexts:
+                findings.extend(run_rules(ctx, file_rules))
+        if project_rules:
+            findings.extend(run_project_rules(project, project_rules))
     findings.sort(key=Finding.sort_key)
     return findings

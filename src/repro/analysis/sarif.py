@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 export for sgblint findings.
+
+Produces the minimal document GitHub code scanning ingests: one run,
+one tool driver with the full rule metadata, and one result per finding
+with a physical location.  Column numbers are converted from sgblint's
+0-based ``col`` to SARIF's 1-based ``startColumn``.
+
+No external schema validator is bundled (and none may be installed);
+the test suite validates the structural contract this module promises:
+``$schema``/``version`` at the top, ``runs[0].tool.driver`` with
+``name``/``rules``, and for every result a ``ruleId`` present in the
+driver rules, a ``level`` in the SARIF vocabulary, and a region with
+positive line/column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "sgblint"
+TOOL_VERSION = "2.0.0"
+INFO_URI = "https://example.invalid/sgblint"  # docs/static_analysis.md
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.title or rule.id},
+        "fullDescription": {"text": rule.explanation()},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "error"),
+        },
+    }
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def sarif_document(findings: Iterable[Finding],
+                   rules: Iterable[Rule] = ()) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document for ``findings``.
+
+    ``rules`` defaults to every registered rule so the driver metadata
+    is complete even for findings from rules that happened not to fire.
+    """
+    chosen: List[Rule] = list(rules) or all_rules()
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": INFO_URI,
+                        "rules": [_rule_descriptor(r) for r in chosen],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }

@@ -197,18 +197,20 @@ class Database:
         attached stream view's micro-batcher.  Disabling uninstalls it but
         keeps the buffered spans, so :meth:`export_trace` still works.
         """
-        if enabled:
-            if self.tracer is None:
-                self.tracer = Tracer()
-            self.sgb_config.trace = self.tracer
-        else:
-            self.sgb_config.trace = None
-        for view in self._stream_views.values():
-            view.batcher.tracer = self.sgb_config.trace
-        if self.profiler is not None:
-            # Span attribution follows the *active* tracer: samples stop
-            # carrying span prefixes the moment tracing is turned off.
-            self.profiler.tracer = self.sgb_config.trace
+        with self._lock:
+            if enabled:
+                if self.tracer is None:
+                    self.tracer = Tracer()
+                self.sgb_config.trace = self.tracer
+            else:
+                self.sgb_config.trace = None
+            for view in self._stream_views.values():
+                view.batcher.tracer = self.sgb_config.trace
+            if self.profiler is not None:
+                # Span attribution follows the *active* tracer: samples
+                # stop carrying span prefixes the moment tracing is
+                # turned off.
+                self.profiler.tracer = self.sgb_config.trace
 
     def export_trace(self, path: str) -> int:
         """Dump buffered spans to ``path``; returns the span count.
@@ -324,10 +326,10 @@ class Database:
                 extra["trace_spans_retained"] = float(len(self.tracer))
                 extra["trace_spans_dropped"] = float(self.tracer.dropped)
             return prometheus_text(
-                self._metrics,
+                self._metrics,  # sgblint: disable=SGB007 -- deliberately under _metrics_lock only: scrapes must not queue behind a long query holding the statement lock
                 streams={
-                    name: view.stats
-                    for name, view in self._stream_views.items()
+                    name: view.stats  # stats reads are point-in-time
+                    for name, view in self._stream_views.items()  # sgblint: disable=SGB007 -- same snapshot-over-consistency tradeoff as above
                 },
                 extra_counters=extra,
             )
@@ -346,7 +348,8 @@ class Database:
             return self.catalog.get(table).insert_many(rows)
 
     def table(self, name: str) -> Table:
-        return self.catalog.get(name)
+        with self._lock:
+            return self.catalog.get(name)
 
     # ------------------------------------------------------------------
     # streaming views (INSERT-then-requery without recomputing)
@@ -392,10 +395,13 @@ class Database:
         return view
 
     def stream_view(self, name: str):
-        try:
-            return self._stream_views[name.lower()]
-        except KeyError:
-            raise CatalogError(f"stream view {name!r} does not exist") from None
+        with self._lock:
+            try:
+                return self._stream_views[name.lower()]
+            except KeyError:
+                raise CatalogError(
+                    f"stream view {name!r} does not exist"
+                ) from None
 
     def stream_snapshot(self, name: str):
         """A consistent snapshot of one stream view's grouping.
@@ -409,12 +415,15 @@ class Database:
             return self.stream_view(name).snapshot()
 
     def stream_view_names(self) -> List[str]:
-        return sorted(self._stream_views)
+        with self._lock:
+            return sorted(self._stream_views)
 
     def drop_stream_view(self, name: str) -> None:
-        view = self.stream_view(name)
-        view.detach()
-        del self._stream_views[view.name]
+        # Re-entrant statement lock: nested stream_view() re-acquires.
+        with self._lock:
+            view = self.stream_view(name)
+            view.detach()
+            del self._stream_views[view.name]
 
     def _drop_views_of_table(self, table_name: str) -> None:
         doomed = [
@@ -468,9 +477,9 @@ class Database:
         """Take the statement lock, polling the cancel token while blocked
         so a queued query can still time out behind a slow one."""
         if cancel is None:
-            self._lock.acquire()
+            self._lock.acquire()  # sgblint: disable=SGB010 -- ownership transfer: execute() releases in its finally
             return
-        while not self._lock.acquire(timeout=0.05):
+        while not self._lock.acquire(timeout=0.05):  # sgblint: disable=SGB010 -- ownership transfer: execute() releases in its finally
             cancel.check()
 
     def explain(self, sql: str) -> str:
@@ -478,8 +487,11 @@ class Database:
         stmts = parse(sql)
         if len(stmts) != 1 or not isinstance(stmts[0], (ast.Select, ast.Union)):
             raise PlanningError("explain() expects a single SELECT")
-        plan = self._planner().plan_query(stmts[0])
-        return plan.explain()
+        # Plan under the statement lock: planning reads the catalog and
+        # table statistics, which a concurrent DDL/INSERT may mutate.
+        with self._lock:
+            plan = self._planner().plan_query(stmts[0])
+            return plan.explain()
 
     def explain_analyze(self, sql: str) -> str:
         """EXPLAIN with actual row counts and per-operator wall time.

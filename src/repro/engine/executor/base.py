@@ -67,8 +67,26 @@ class PhysicalOperator:
     #: were never estimated.
     _estimate: "Optional[PlanEstimate]" = None
 
+    #: Stride for :meth:`_checkpoint` — coarse enough that the modulo is
+    #: noise next to per-row work, fine enough that a cancelled query
+    #: stops within a few thousand rows.
+    CHECKPOINT_EVERY = 1024
+
     def _execute(self) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def _checkpoint(self, i: int) -> None:
+        """Cancel checkpoint for buffering loops inside ``_execute``.
+
+        The per-row check in :func:`_cancel_checked` only fires when a
+        row crosses a node edge; loops that spool-then-aggregate run
+        thousands of steps without yielding, so they call
+        ``self._checkpoint(i)`` with their loop index to re-check the
+        token every :attr:`CHECKPOINT_EVERY` iterations (a no-op when no
+        token is attached).
+        """
+        if self._cancel is not None and i % self.CHECKPOINT_EVERY == 0:
+            self._cancel.check()
 
     def __iter__(self) -> Iterator[tuple]:
         obs = self._obs

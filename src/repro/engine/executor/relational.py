@@ -379,6 +379,9 @@ class Sort(PhysicalOperator):
         rows = self.child.rows()
         # Stable multi-key sort: apply keys right-to-left.
         for fn, asc in reversed(list(zip(self._key_fns, self._ascending))):
+            # Each pass is O(n log n) with no iteration boundary; check
+            # the cancel token between key passes at least.
+            self._checkpoint(0)
             rows.sort(
                 key=lambda row, f=fn: _null_key(f(row)),
                 reverse=not asc,

@@ -282,6 +282,9 @@ class SGBAggregate(PhysicalOperator):
         )
         label_lists: List[List[int]] = []
         for labels, obs_payload in results:
+            # Folding worker payloads is per-partition work with no row
+            # crossing a node edge; re-check the token between folds.
+            self._checkpoint(0)
             label_lists.append(labels)
             fold_obs_payload(obs_payload, bag=bag, tracer=tracer,
                              profiler=profiler)
@@ -321,7 +324,11 @@ class SGBAggregate(PhysicalOperator):
                     labels = operator.finalize().labels
             group_accs: dict = {}
             order: List[int] = []
-            for row, label in zip(spool, labels):
+            for j, (row, label) in enumerate(zip(spool, labels)):
+                # No row leaves this node until the whole partition is
+                # aggregated; without a mid-loop checkpoint a cancel or
+                # deadline fired here is only seen after the grind.
+                self._checkpoint(j)
                 if label < 0:  # eliminated by the ON-OVERLAP clause
                     continue
                 accs = group_accs.get(label)
@@ -391,7 +398,8 @@ class SGBAroundAggregate(PhysicalOperator):
         specs = self._specs
         group_accs: dict = {}
         order: List[int] = []
-        for row, label in zip(spool, result.labels):
+        for j, (row, label) in enumerate(zip(spool, result.labels)):
+            self._checkpoint(j)  # buffering loop: no per-row node edge
             if label < 0:
                 continue
             accs = group_accs.get(label)
@@ -474,7 +482,8 @@ class SGB1DAggregate(PhysicalOperator):
         specs = self._specs
         group_accs: dict = {}
         order: List[int] = []
-        for row, label in zip(spool, result.labels):
+        for j, (row, label) in enumerate(zip(spool, result.labels)):
+            self._checkpoint(j)  # buffering loop: no per-row node edge
             if label < 0:
                 continue
             accs = group_accs.get(label)

@@ -122,7 +122,10 @@ class SGBService:
             except Exception:
                 pass
         # Queued items still drain (daemon workers), new submits refuse.
-        self.scheduler.shutdown(wait=False)
+        # Off the event loop: shutdown() puts one sentinel per worker on
+        # the (bounded) work queue, which can block when the queue is
+        # full — a stall here would freeze every other coroutine.
+        await asyncio.to_thread(self.scheduler.shutdown, False)
 
     @property
     def active_sessions(self) -> int:

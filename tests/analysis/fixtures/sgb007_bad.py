@@ -1,0 +1,53 @@
+# sgblint: module=repro.engine.fixture_locks_bad
+"""SGB007 true positives: a straggler access and an order inversion."""
+
+import threading
+
+
+class Registry:
+    """Three of four ``_items`` accesses hold ``_lock`` — the guard is
+    inferred and the fourth access is flagged."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+
+    def remove(self, key):
+        with self._lock:
+            self._items.pop(key, None)
+
+    def peek(self, key):
+        return self._items.get(key)  # unguarded read
+
+
+class Metrics:
+    """Two sites take ``_lock`` then ``_metrics_lock``; the third takes
+    them reversed and is flagged as an inversion."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._bag = {}
+
+    def record(self, key, value):
+        with self._lock:
+            with self._metrics_lock:
+                self._bag[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            with self._metrics_lock:
+                return dict(self._bag)
+
+    def reset(self):
+        with self._metrics_lock:
+            with self._lock:  # reversed: can deadlock against record()
+                self._bag.clear()

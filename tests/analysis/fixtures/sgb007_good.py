@@ -1,0 +1,50 @@
+# sgblint: module=repro.engine.fixture_locks_good
+"""SGB007 true negatives: consistent guarding and lock order, plus an
+interprocedural helper called only with the lock held."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._items.get(key)
+
+    def remove(self, key):
+        with self._lock:
+            return self._unlink(key)
+
+    def _unlink(self, key):
+        # Only ever called with _lock held; entry-held inference covers
+        # this access even though no `with` is visible here.
+        return self._items.pop(key, None)
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._bag = {}
+
+    def record(self, key, value):
+        with self._lock:
+            with self._metrics_lock:
+                self._bag[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            with self._metrics_lock:
+                return dict(self._bag)
+
+    def reset(self):
+        with self._lock:
+            with self._metrics_lock:
+                self._bag.clear()

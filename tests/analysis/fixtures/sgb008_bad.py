@@ -1,0 +1,21 @@
+# sgblint: module=repro.service.fixture_async_bad
+"""SGB008 true positives: blocking calls reachable from coroutines."""
+
+import queue
+import time
+
+
+class Handler:
+    def __init__(self):
+        self._queue = queue.Queue()
+
+    def _drain(self):
+        # Blocking leaf two edges from the coroutine below.
+        return self._queue.get(timeout=1.0)
+
+    async def poll(self):
+        return self._drain()  # async -> _drain -> queue.Queue.get
+
+
+async def pause():
+    time.sleep(0.1)  # direct blocking call on the event loop thread

@@ -1,0 +1,21 @@
+# sgblint: module=repro.service.fixture_async_good
+"""SGB008 true negatives: executor hops break the blocking chain."""
+
+import asyncio
+import queue
+
+
+class Handler:
+    def __init__(self):
+        self._queue = queue.Queue()
+
+    def _drain(self):
+        return self._queue.get(timeout=1.0)
+
+    async def poll(self):
+        # _drain is *passed*, not called: no call edge, chain broken.
+        return await asyncio.to_thread(self._drain)
+
+
+async def pause():
+    await asyncio.sleep(0.1)  # the async sleep, not time.sleep

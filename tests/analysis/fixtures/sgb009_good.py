@@ -1,0 +1,55 @@
+# sgblint: module=repro.engine.executor.fixture_cancel_good
+"""SGB009 true negatives: checkpointed, yielding, and shape-bounded
+loops."""
+
+
+class CancelToken:
+    def check(self):
+        return None
+
+
+class PhysicalOperator:
+    CHECKPOINT_EVERY = 1024
+
+    _cancel: CancelToken
+
+    def __init__(self, child=None):
+        self._cancel = None
+        self.child = child
+
+    def _checkpoint(self, i):
+        if self._cancel is not None and i % self.CHECKPOINT_EVERY == 0:
+            self._cancel.check()
+
+
+class CheckpointedAggregate(PhysicalOperator):
+    def __init__(self, child, specs):
+        super().__init__(child)
+        self._specs = specs
+
+    def _execute(self):
+        spool = []
+        for row in self.child:  # exempt: the child iterator checks
+            spool.append(row)
+        acc = 0
+        for i, row in enumerate(spool):
+            if i % 256 == 0:
+                self._cancel.check()  # direct cancel check
+            acc = acc + row
+        total = 0
+        for j, row in enumerate(spool):
+            self._checkpoint(j)  # indirect: reaches CancelToken.check
+            total = total + self._fold(row)
+        specs = self._specs
+        for spec in specs:  # shape-bounded: one iteration per aggregate
+            total = total + self._fold(spec)
+        yield total + acc
+
+    def _fold(self, value):
+        return value * 2
+
+
+class StreamingProject(PhysicalOperator):
+    def _execute(self):
+        for row in self.child:  # yields per row: __iter__ checks
+            yield row + 1

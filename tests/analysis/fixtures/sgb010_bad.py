@@ -1,0 +1,42 @@
+# sgblint: module=repro.obs.fixture_resource_bad
+"""SGB010 true positives: resources without exception-safe release."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import memory_tracking
+from repro.obs.profile import SamplingProfiler
+
+
+def measure(samples):
+    tracker = memory_tracking()  # never entered: measures nothing
+    total = sum(samples)
+    return total
+
+
+def run_tasks(tasks):
+    pool = ThreadPoolExecutor(max_workers=2)
+    results = [pool.submit(str, t) for t in tasks]
+    pool.shutdown()  # released, but not in a finally
+    return results
+
+
+def sample(fn):
+    prof = SamplingProfiler()
+    fn()
+    return None  # prof never released, never escapes
+
+
+class Holder:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self._value = 0
+
+    def lock_forever(self):
+        self._guard.acquire()
+        self._value += 1  # no release on any path
+
+    def lock_plain(self):
+        self._guard.acquire()
+        self._value += 1
+        self._guard.release()  # an exception above leaks the lock

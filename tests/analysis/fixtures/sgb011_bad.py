@@ -1,0 +1,34 @@
+# sgblint: module=repro.core.parallel_fixture_bad
+"""SGB011 true positives: a dropped payload key and unpicklable
+submissions."""
+
+ObsPayload = dict
+
+
+def worker(rows):
+    payload: ObsPayload = {}
+    payload["rows_scanned"] = len(rows)
+    payload["spill_bytes"] = 0  # never folded: telemetry evaporates
+    return payload
+
+
+def fold_obs_payload(parent, payload):
+    parent["rows_scanned"] = (
+        parent.get("rows_scanned", 0) + payload.get("rows_scanned", 0)
+    )
+    return parent
+
+
+def make_task():
+    return lambda chunk: sum(chunk)
+
+
+def submit_factory(pool):
+    return pool.submit(make_task)  # the result is a lambda: no pickle
+
+
+def submit_nested(pool, rows):
+    def task(chunk):
+        return sum(chunk)
+
+    return pool.submit(task, rows)  # nested function: no pickle

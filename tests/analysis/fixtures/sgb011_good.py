@@ -1,0 +1,30 @@
+# sgblint: module=repro.core.parallel_fixture_good
+"""SGB011 true negatives: symmetric fold-back and picklable
+submissions."""
+
+ObsPayload = dict
+
+
+def worker(rows):
+    payload: ObsPayload = {}
+    payload["rows_scanned"] = len(rows)
+    payload["spill_bytes"] = 0
+    return payload
+
+
+def fold_obs_payload(parent, payload):
+    parent["rows_scanned"] = (
+        parent.get("rows_scanned", 0) + payload.get("rows_scanned", 0)
+    )
+    parent["spill_bytes"] = (
+        parent.get("spill_bytes", 0) + payload.get("spill_bytes", 0)
+    )
+    return parent
+
+
+def chunk_sum(chunk):
+    return sum(chunk)
+
+
+def submit_all(pool, chunks):
+    return [pool.submit(chunk_sum, c) for c in chunks]

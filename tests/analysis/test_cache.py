@@ -1,0 +1,113 @@
+"""Incremental-cache behavior: warm reuse, invalidation cones, and
+signature-driven discards.
+
+Each test lints a three-module package written to ``tmp_path``:
+``b`` imports ``a``; ``c`` is independent.  Editing ``a`` must
+re-analyze ``a`` and its reverse-dependency cone (``b``) while ``c`` is
+served from the cache.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.registry import get_rule
+from repro.analysis.runner import lint_paths
+
+A_SRC = '''\
+# sgblint: module=repro.cachepkg.a
+def alpha():
+    return 1
+'''
+
+B_SRC = '''\
+# sgblint: module=repro.cachepkg.b
+import repro.cachepkg.a
+
+
+def beta():
+    return repro.cachepkg.a.alpha() + 1
+'''
+
+C_SRC = '''\
+# sgblint: module=repro.cachepkg.c
+def gamma():
+    return 3
+'''
+
+
+@pytest.fixture
+def pkg(tmp_path):
+    (tmp_path / "a.py").write_text(A_SRC)
+    (tmp_path / "b.py").write_text(B_SRC)
+    (tmp_path / "c.py").write_text(C_SRC)
+    return tmp_path
+
+
+def run_cached(pkg, cache_path):
+    cache = AnalysisCache(str(cache_path))
+    findings = lint_paths([str(pkg)], cache=cache)
+    return findings, cache.stats
+
+
+def names(paths):
+    return {os.path.basename(p) for p in paths}
+
+
+class TestColdAndWarm:
+    def test_cold_run_analyzes_everything(self, pkg, tmp_path):
+        _, stats = run_cached(pkg, tmp_path / "cache.json")
+        assert names(stats.analyzed) == {"a.py", "b.py", "c.py"}
+        assert stats.cached == []
+        assert not stats.project_reused
+
+    def test_warm_run_analyzes_nothing(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run_cached(pkg, cache_path)
+        _, stats = run_cached(pkg, cache_path)
+        assert stats.analyzed == []
+        assert names(stats.cached) == {"a.py", "b.py", "c.py"}
+        assert stats.project_reused
+
+    def test_warm_run_findings_identical(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cold, _ = run_cached(pkg, cache_path)
+        warm, _ = run_cached(pkg, cache_path)
+        assert [f.as_dict() for f in warm] == \
+               [f.as_dict() for f in cold]
+
+
+class TestInvalidation:
+    def test_edit_reanalyzes_changed_file_and_cone(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run_cached(pkg, cache_path)
+        (pkg / "a.py").write_text(A_SRC + "\n# touched\n")
+        _, stats = run_cached(pkg, cache_path)
+        # a changed; b imports a (reverse cone); c untouched.
+        assert names(stats.analyzed) == {"a.py", "b.py"}
+        assert names(stats.cached) == {"c.py"}
+        assert not stats.project_reused
+
+    def test_edit_leaf_does_not_invalidate_importer(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run_cached(pkg, cache_path)
+        (pkg / "c.py").write_text(C_SRC + "\n# touched\n")
+        _, stats = run_cached(pkg, cache_path)
+        # nothing imports c: the cone is just c itself.
+        assert names(stats.analyzed) == {"c.py"}
+        assert names(stats.cached) == {"a.py", "b.py"}
+
+    def test_rule_set_change_discards_cache(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        run_cached(pkg, cache_path)
+        cache = AnalysisCache(str(cache_path))
+        lint_paths([str(pkg)], rules=(get_rule("SGB001"),), cache=cache)
+        # Different rule signature: everything is stale again.
+        assert names(cache.stats.analyzed) == {"a.py", "b.py", "c.py"}
+
+    def test_corrupt_cache_file_is_ignored(self, pkg, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json")
+        _, stats = run_cached(pkg, cache_path)
+        assert names(stats.analyzed) == {"a.py", "b.py", "c.py"}

@@ -12,7 +12,8 @@ HERE = os.path.dirname(__file__)
 FIXTURES = os.path.join(HERE, "fixtures")
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 
-ALL_RULES = ("SGB001", "SGB002", "SGB003", "SGB004", "SGB005", "SGB006")
+ALL_RULES = ("SGB001", "SGB002", "SGB003", "SGB004", "SGB005", "SGB006",
+             "SGB007", "SGB008", "SGB009", "SGB010", "SGB011")
 
 
 def run(argv):

@@ -21,9 +21,10 @@ def rules_hit(path):
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         assert [r.id for r in all_rules()] == [
             "SGB001", "SGB002", "SGB003", "SGB004", "SGB005", "SGB006",
+            "SGB007", "SGB008", "SGB009", "SGB010", "SGB011",
         ]
 
     def test_every_rule_has_an_explanation(self):
@@ -43,6 +44,11 @@ class TestRuleRegistry:
     ("SGB004", 3),
     ("SGB005", 2),
     ("SGB006", 2),
+    ("SGB007", 2),
+    ("SGB008", 2),
+    ("SGB009", 2),
+    ("SGB010", 5),
+    ("SGB011", 3),
 ])
 class TestFixtureCorpus:
     def test_bad_fixture_is_flagged(self, rule_id, expected_bad_count):

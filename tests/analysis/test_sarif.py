@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 structural contract (no external validator is bundled,
+so the contract the docstring of ``repro.analysis.sarif`` promises is
+asserted directly), plus the ``--sarif`` CLI flag."""
+
+import io
+import json
+import os
+
+from repro.analysis.cli import main
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import lint_file
+from repro.analysis.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_NAME,
+    sarif_document,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+_VALID_LEVELS = {"error", "warning", "note", "none"}
+
+
+def bad_fixture(rule_id):
+    return os.path.join(FIXTURES, f"sgb{rule_id[3:]}_bad.py")
+
+
+class TestDocumentStructure:
+    def doc(self):
+        findings = lint_file(bad_fixture("SGB010"))
+        assert findings  # the fixture must fire for the test to mean much
+        return sarif_document(findings), findings
+
+    def test_top_level_envelope(self):
+        doc, _ = self.doc()
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_full_rule_metadata(self):
+        doc, _ = self.doc()
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == [r.id for r in all_rules()]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in _VALID_LEVELS
+
+    def test_results_reference_known_rules_with_positive_regions(self):
+        doc, findings = self.doc()
+        run = doc["runs"][0]
+        driver_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert len(run["results"]) == len(findings)
+        for result in run["results"]:
+            assert result["ruleId"] in driver_ids
+            assert result["level"] in _VALID_LEVELS
+            assert result["message"]["text"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            uri = result["locations"][0]["physicalLocation"][
+                "artifactLocation"]["uri"]
+            assert "\\" not in uri
+
+    def test_empty_findings_give_empty_results(self):
+        doc = sarif_document([])
+        assert doc["runs"][0]["results"] == []
+
+    def test_document_is_json_serializable(self):
+        doc, _ = self.doc()
+        json.loads(json.dumps(doc))  # round-trips
+
+
+class TestCliFlag:
+    def test_sarif_flag_writes_valid_file(self, tmp_path):
+        out_path = str(tmp_path / "out.sarif")
+        buf = io.StringIO()
+        code = main(["--no-baseline", "--sarif", out_path,
+                     bad_fixture("SGB007")], stdout=buf)
+        assert code == 1  # findings still gate
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results and all(r["ruleId"] == "SGB007" for r in results)
